@@ -1,0 +1,14 @@
+"""Benchmark: ablation of the reproduction's trace-modelling choices."""
+
+
+def test_bench_ablation(report):
+    result = report("ablation", preset="smoke")
+    # Deeper trimmable suffixes increase the software-guided speedup monotonically.
+    suffixes = [
+        result.metadata[f"suffix={bits}, dense first layer:geomean"] for bits in (0, 1, 2, 3)
+    ]
+    assert suffixes == sorted(suffixes)
+    # Modelling the first layer as sparse ReLU output overstates the speedup.
+    dense = result.metadata["suffix=2, dense first layer:geomean"]
+    sparse = result.metadata["suffix=2, sparse first layer:geomean"]
+    assert sparse >= dense

@@ -1,0 +1,10 @@
+"""Benchmark: extension study — canonical signed digit oneffset encoding."""
+
+
+def test_bench_extension_csd(report):
+    result = report("extension_csd")
+    # CSD never needs more terms than the positional encoding and should shave a
+    # meaningful fraction off the already-small PRA term count.
+    assert result.metadata["geomean:PRA-csd"] <= result.metadata["geomean:PRA-fp16"]
+    assert 0.05 <= result.metadata["geomean:reduction"] <= 0.6
+    assert result.metadata["geomean:PRA-csd"] < result.metadata["geomean:Stripes"]

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 10 (per-column synchronization vs SSR count)."""
+
+import pytest
+
+
+def test_bench_fig10(report):
+    result = report("fig10")
+    geo = {key.split(":")[1]: value for key, value in result.metadata.items() if key.startswith("geomean:")}
+    # More SSRs monotonically approach the ideal configuration.
+    assert geo["1-reg"] <= geo["4-regs"] <= geo["16-regs"] <= geo["perCol-ideal"] * 1.001
+    # One register already captures most of the benefit (paper: 3.1x of 3.45x ideal).
+    assert geo["1-reg"] >= 0.85 * geo["perCol-ideal"]
+    # Column synchronization clearly beats Stripes and lands in the paper's range.
+    assert geo["1-reg"] > geo["Stripes"]
+    assert 2.4 <= geo["1-reg"] <= 4.2
+    assert geo["perCol-ideal"] == pytest.approx(geo["16-regs"], rel=0.05)

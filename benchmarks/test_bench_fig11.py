@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 11 (energy efficiency relative to DaDN)."""
+
+
+def test_bench_fig11(report):
+    result = report("fig11")
+    geo = {key.split(":")[1]: value for key, value in result.metadata.items() if key.startswith("geomean:")}
+    # Paper: PRA-4b's power overhead cancels its speedup (~0.95x); PRA-2b is ~1.28x
+    # and the column-synchronized PRA-2b-1R is the most efficient (~1.48x).
+    assert geo["PRA-4b"] < geo["PRA-2b"] < geo["PRA-2b-1R"]
+    assert 0.7 <= geo["PRA-4b"] <= 1.2
+    assert 1.0 <= geo["PRA-2b"] <= 1.7
+    assert 1.1 <= geo["PRA-2b-1R"] <= 2.0
+    assert geo["Stripes"] > 1.0

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 12 (8-bit quantized representation)."""
+
+
+def test_bench_fig12(report):
+    result = report("fig12")
+    geo = {key.split(":")[1]: value for key, value in result.metadata.items() if key.startswith("geomean:")}
+    # Pragmatic's benefits persist with the quantized representation (paper: ~3.5x
+    # for the column-synchronized PRA-2b); per-column beats per-pallet, and the
+    # 2-bit first stage stays close to the single-stage design.
+    assert geo["perPall-2bit"] > geo["Stripes"]
+    assert geo["perCol-1reg-2bit"] > geo["perPall-2bit"]
+    assert geo["perCol-1reg-2bit"] <= geo["perCol-ideal-2bit"] * 1.001
+    assert 1.5 <= geo["perPall-2bit"] <= 3.5
+    assert 2.0 <= geo["perCol-1reg-2bit"] <= 4.5

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 2 (term counts, 16-bit fixed point)."""
+
+
+def test_bench_fig2(report):
+    result = report("fig2")
+    geomean = {key.split(":")[1]: value for key, value in result.metadata.items() if key.startswith("geomean:")}
+    # Pragmatic needs by far the fewest terms; software guidance helps further.
+    assert geomean["PRA-red"] <= geomean["PRA-fp16"] < 0.25
+    assert geomean["PRA-fp16"] < geomean["Stripes"] < 1.0
+    assert geomean["PRA-fp16"] < geomean["ZN"] <= geomean["CVN"] <= 1.0

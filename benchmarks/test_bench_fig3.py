@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 3 (term counts, 8-bit quantized)."""
+
+
+def test_bench_fig3(report):
+    result = report("fig3")
+    pra = result.metadata["geomean:PRA"]
+    zero_skip = result.metadata["geomean:ZN"]
+    # Paper: skipping zero neurons removes only ~30% of terms, Pragmatic up to ~71%.
+    assert pra < zero_skip <= 1.0
+    assert pra < 0.5

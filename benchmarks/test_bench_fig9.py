@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 9 (speedup vs DaDN, per-pallet synchronization)."""
+
+import pytest
+
+
+def test_bench_fig9(report):
+    result = report("fig9")
+    geo = {key.split(":")[1]: value for key, value in result.metadata.items() if key.startswith("geomean:")}
+    # Engine ordering: DaDN < Stripes < PRA-0b < ... and PRA-2b within a whisker of PRA-4b.
+    assert 1.0 < geo["Stripes"] < geo["0-bit"]
+    assert geo["0-bit"] <= geo["1-bit"] <= geo["2-bit"] <= geo["4-bit"] * 1.001
+    assert geo["2-bit"] == pytest.approx(geo["4-bit"], rel=0.02)
+    # Paper headline numbers: Stripes 1.85x, PRA-single 2.59x (shape: 1.3-2.4 / 2.0-3.5).
+    assert 1.3 <= geo["Stripes"] <= 2.4
+    assert 2.0 <= geo["4-bit"] <= 3.5
+    # Pragmatic-without-first-stage-shifters still beats Stripes (paper: ~20%).
+    assert geo["0-bit"] / geo["Stripes"] > 1.1

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table I (essential bit content of the neuron streams)."""
+
+from repro.nn.calibration import TABLE1_TARGETS
+from repro.nn.networks import NETWORK_NAMES
+
+
+def test_bench_table1(report):
+    result = report("table1")
+    # The calibrated traces must stay close to the paper's NZ statistic, which is
+    # the quantity the whole evaluation rests on.
+    for network in NETWORK_NAMES:
+        measured = result.metadata[f"fixed16:{network}:nz"]
+        paper = TABLE1_TARGETS["fixed16"]["nz"][network]
+        assert abs(measured - paper) / paper < 0.35, network
+    # The 8-bit quantized representation carries denser codes than 16-bit fixed point.
+    for network in NETWORK_NAMES:
+        assert (
+            result.metadata[f"quant8:{network}:all"]
+            > result.metadata[f"fixed16:{network}:all"]
+        )

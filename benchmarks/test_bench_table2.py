@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table II (per-layer neuron precision profiles)."""
+
+from repro.nn.networks import NETWORK_NAMES
+
+
+def test_bench_table2(report):
+    result = report("table2")
+    # Profiled widths must track the published profiles (same order of magnitude,
+    # never collapsing to the full 16-bit storage width on average).
+    for network in NETWORK_NAMES:
+        published = result.metadata[f"{network}:published_mean"]
+        profiled = result.metadata[f"{network}:profiled_mean"]
+        assert 4.0 <= profiled <= 16.0
+        assert abs(profiled - published) <= 5.0, network

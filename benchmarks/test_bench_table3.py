@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table III (area and power, pallet synchronization)."""
+
+import pytest
+
+from repro.experiments.table3 import PAPER_TABLE3
+
+
+def test_bench_table3(report):
+    result = report("table3")
+    for design, (unit, _, power) in PAPER_TABLE3.items():
+        assert result.metadata[f"{design}:unit_mm2"] == pytest.approx(unit, rel=0.05)
+        assert result.metadata[f"{design}:chip_w"] == pytest.approx(power, rel=0.05)
+    # Area and power grow monotonically with the first-stage shifter width.
+    units = [result.metadata[f"PRA-{bits}b:unit_mm2"] for bits in range(5)]
+    assert units == sorted(units)

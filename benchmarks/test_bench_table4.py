@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table IV (area and power, per-column synchronization)."""
+
+import pytest
+
+from repro.experiments.table4 import PAPER_TABLE4
+
+
+def test_bench_table4(report):
+    result = report("table4")
+    for design, (unit, _, power) in PAPER_TABLE4.items():
+        assert result.metadata[f"{design}:unit_mm2"] == pytest.approx(unit, rel=0.05)
+        assert result.metadata[f"{design}:chip_w"] == pytest.approx(power, rel=0.05)
+    # SSRs are cheap: one register costs only a few percent of the PRA-2b unit.
+    assert (
+        result.metadata["PRA-2b-1R:unit_mm2"] - result.metadata["PRA-2b-16R:unit_mm2"] < 0
+    )

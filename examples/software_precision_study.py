@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Software guidance study: how much do per-layer precisions help Pragmatic?
+
+Section V-F of the paper describes the one software hook Pragmatic exposes:
+after each layer, software may zero out prefix and suffix bits of the output
+neurons according to profiled per-layer precisions, shrinking the essential bit
+content the next layer must process.  This example quantifies that effect for
+every network the paper evaluates (Table V) and also shows the underlying
+essential-bit savings per layer for one network.
+
+Run it with::
+
+    python examples/software_precision_study.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.speedup import geometric_mean
+from repro.analysis.tables import format_percent, format_ratio, format_table
+from repro.arch.tiling import SamplingConfig
+from repro.core.software import SoftwareGuidance
+from repro.core.sweep import sweep_network
+from repro.core.variants import column_variant
+from repro.nn.calibration import calibrated_trace
+from repro.nn.networks import NETWORK_NAMES, get_network
+
+
+def speedup_with_and_without_guidance(network: str, sampling: SamplingConfig):
+    trace = calibrated_trace(network)
+    configs = {
+        "guided": column_variant(1, software_trimming=True),
+        "unguided": column_variant(1, software_trimming=False),
+    }
+    results = sweep_network(trace, configs, sampling=sampling)
+    return results["guided"].speedup, results["unguided"].speedup
+
+
+def per_layer_savings(network: str, samples: int = 20000) -> list[list[object]]:
+    trace = calibrated_trace(network)
+    guidance = SoftwareGuidance.from_trace(trace)
+    rows = []
+    for index, layer in enumerate(trace.network.layers):
+        values = trace.sample_layer_values(index, samples)
+        savings = guidance.essential_bit_savings(values, index)
+        rows.append([layer.name, trace.layer_precision(index).width, format_percent(savings)])
+    return rows
+
+
+def main() -> None:
+    sampling = SamplingConfig(max_pallets=6)
+
+    print("== Speedup benefit of software-provided precisions (PRA-2b-1R) ==")
+    rows = []
+    benefits = []
+    for name in NETWORK_NAMES:
+        guided, unguided = speedup_with_and_without_guidance(name, sampling)
+        benefit = guided / unguided - 1.0
+        benefits.append(1.0 + benefit)
+        rows.append(
+            [get_network(name).name, format_ratio(guided), format_ratio(unguided), format_percent(benefit, 0)]
+        )
+    rows.append(["geomean", "-", "-", format_percent(geometric_mean(benefits) - 1.0, 0)])
+    print(format_table(["network", "with software", "without software", "benefit"], rows))
+    print("(The paper's Table V reports 10%-23% per network, 19% on average.)")
+    print()
+
+    print("== Per-layer essential-bit savings from trimming (AlexNet) ==")
+    print(format_table(["layer", "precision (bits)", "essential bits removed"], per_layer_savings("alexnet")))
+
+
+if __name__ == "__main__":
+    main()

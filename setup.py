@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``.  This file exists so that
+``pip install -e . --no-use-pep517`` works on environments whose setuptools
+predates PEP 660 editable installs (and that lack the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

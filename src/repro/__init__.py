@@ -1,0 +1,20 @@
+"""repro — reproduction of "Bit-Pragmatic Deep Neural Network Computing" (MICRO 2017).
+
+The package implements the Pragmatic (PRA) accelerator, the DaDianNao (DaDN) and
+Stripes (STR) baselines it is evaluated against, the convolutional-layer and
+activation-trace substrate the evaluation runs on, a component-level area/power
+model, and an experiment harness that regenerates every table and figure of the
+paper's evaluation section.
+
+Quick start::
+
+    from repro.experiments import runner
+    report = runner.run_experiment("fig9", preset="fast")
+    print(report.to_text())
+
+See ``examples/quickstart.py`` and the README for more.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

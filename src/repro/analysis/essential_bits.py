@@ -1,0 +1,84 @@
+"""Essential-bit content of the neuron streams (Table I of the paper).
+
+For each network and storage representation the statistic is the average
+fraction of non-zero bits per neuron, weighted by how often each layer's
+neurons enter the datapath (the neuron stream length), reported both over all
+neurons ("All") and over non-zero neurons only ("NZ").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.calibration import TABLE1_TARGETS, calibrated_trace, storage_bits_for
+from repro.nn.networks import NETWORK_NAMES, get_network
+from repro.nn.traces import NetworkTrace
+from repro.numerics.fixedpoint import popcount
+
+__all__ = ["NetworkBitContent", "measure_trace", "essential_bit_table"]
+
+
+@dataclass(frozen=True)
+class NetworkBitContent:
+    """Essential-bit statistics of one network under one representation."""
+
+    network: str
+    representation: str
+    all_fraction: float
+    nonzero_fraction: float
+    paper_all_fraction: float | None
+    paper_nonzero_fraction: float | None
+
+
+def measure_trace(trace: NetworkTrace, samples_per_layer: int = 20000) -> tuple[float, float]:
+    """Stream-weighted (All, NZ) essential-bit fractions of a trace."""
+    if samples_per_layer < 1:
+        raise ValueError("samples_per_layer must be positive")
+    bits = trace.storage_bits
+    weights = trace.stream_weights()
+    all_fractions = np.empty(trace.network.num_layers)
+    nz_fractions = np.empty(trace.network.num_layers)
+    nz_weights = np.empty(trace.network.num_layers)
+    for index in range(trace.network.num_layers):
+        values = trace.sample_layer_values(index, samples_per_layer)
+        counts = popcount(values, bits=bits)
+        all_fractions[index] = counts.mean() / bits
+        nonzero = counts[values != 0]
+        nz_fractions[index] = (nonzero.mean() / bits) if nonzero.size else 0.0
+        nz_weights[index] = weights[index] * (np.count_nonzero(values) / values.size)
+    all_fraction = float(np.average(all_fractions, weights=weights))
+    if nz_weights.sum() > 0:
+        nz_fraction = float(np.average(nz_fractions, weights=nz_weights))
+    else:
+        nz_fraction = 0.0
+    return all_fraction, nz_fraction
+
+
+def essential_bit_table(
+    representation: str = "fixed16",
+    networks: tuple[str, ...] | None = None,
+    samples_per_layer: int = 20000,
+    seed: int = 0,
+) -> list[NetworkBitContent]:
+    """Measure Table I for the requested networks and representation."""
+    storage_bits_for(representation)  # validates the name
+    names = networks if networks is not None else NETWORK_NAMES
+    targets = TABLE1_TARGETS.get(representation, {"all": {}, "nz": {}})
+    results = []
+    for name in names:
+        network = get_network(name)
+        trace = calibrated_trace(network, representation=representation, seed=seed)
+        all_fraction, nz_fraction = measure_trace(trace, samples_per_layer=samples_per_layer)
+        results.append(
+            NetworkBitContent(
+                network=network.name,
+                representation=representation,
+                all_fraction=all_fraction,
+                nonzero_fraction=nz_fraction,
+                paper_all_fraction=targets["all"].get(network.name),
+                paper_nonzero_fraction=targets["nz"].get(network.name),
+            )
+        )
+    return results

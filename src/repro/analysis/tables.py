@@ -1,0 +1,51 @@
+"""Plain-text table rendering shared by the experiment harness and examples."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_percent", "format_ratio"]
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Render a fraction as a percentage string (``0.078`` → ``"7.8%"``)."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def format_ratio(value: float, digits: int = 2) -> str:
+    """Render a ratio with an ``x`` suffix (``2.59`` → ``"2.59x"``)."""
+    return f"{value:.{digits}f}x"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned plain-text table.
+
+    Cells are converted with ``str``; numeric alignment is right, text alignment
+    is left (based on the column's header row being text).
+    """
+    if not headers:
+        raise ValueError("headers must not be empty")
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers: {row}"
+            )
+    widths = [
+        max(len(str(headers[col])), *(len(row[col]) for row in str_rows)) if str_rows else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = []
+        for col, cell in enumerate(cells):
+            if col == 0:
+                padded.append(cell.ljust(widths[col]))
+            else:
+                padded.append(cell.rjust(widths[col]))
+        return "  ".join(padded)
+
+    separator = "  ".join("-" * width for width in widths)
+    lines = [render_row([str(h) for h in headers]), separator]
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)

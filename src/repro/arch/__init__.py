@@ -1,0 +1,35 @@
+"""Shared architecture substrate: chip configuration, tiling and memory models."""
+
+from repro.arch.config import DEFAULT_CHIP, ChipConfig
+from repro.arch.memory import AccessCounters, NeuronMemory, SynapseBuffer, layer_fits_on_chip
+from repro.arch.tiling import (
+    BrickPosition,
+    SamplingConfig,
+    brick_positions,
+    exact_pallet_values,
+    extract_brick,
+    extract_pallet_step,
+    iter_pallet_steps,
+    pallet_window_coordinates,
+    sample_pallet_values,
+    window_coordinates,
+)
+
+__all__ = [
+    "ChipConfig",
+    "DEFAULT_CHIP",
+    "NeuronMemory",
+    "SynapseBuffer",
+    "AccessCounters",
+    "layer_fits_on_chip",
+    "BrickPosition",
+    "SamplingConfig",
+    "brick_positions",
+    "window_coordinates",
+    "pallet_window_coordinates",
+    "extract_brick",
+    "extract_pallet_step",
+    "iter_pallet_steps",
+    "exact_pallet_values",
+    "sample_pallet_values",
+]

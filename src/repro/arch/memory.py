@@ -1,0 +1,111 @@
+"""On-chip memory models: neuron memory (NM), synapse buffers (SB), NBin/NBout.
+
+The cycle models only need two things from the memory system:
+
+* the number of cycles to assemble the next neuron pallet from the central
+  eDRAM neuron memory (which overlaps with processing — Section V-A4), and
+* access counts for the energy model (the paper schedules computation so that
+  every design performs the same SB reads).
+
+Capacity checks are also provided so that configurations that would not fit the
+2 MB-per-tile SB or the 4 MB NM are flagged instead of silently mis-modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.config import ChipConfig, DEFAULT_CHIP
+from repro.nn.layers import BRICK_SIZE, PALLET_WINDOWS, ConvLayerSpec
+
+__all__ = ["NeuronMemory", "SynapseBuffer", "AccessCounters", "layer_fits_on_chip"]
+
+
+@dataclass
+class AccessCounters:
+    """Read/write counters used by the energy model."""
+
+    nm_reads: int = 0
+    nm_writes: int = 0
+    sb_reads: int = 0
+    nbin_reads: int = 0
+    nbout_writes: int = 0
+
+    def merge(self, other: "AccessCounters") -> "AccessCounters":
+        """Element-wise sum of two counter sets."""
+        return AccessCounters(
+            nm_reads=self.nm_reads + other.nm_reads,
+            nm_writes=self.nm_writes + other.nm_writes,
+            sb_reads=self.sb_reads + other.sb_reads,
+            nbin_reads=self.nbin_reads + other.nbin_reads,
+            nbout_writes=self.nbout_writes + other.nbout_writes,
+        )
+
+
+@dataclass
+class NeuronMemory:
+    """The shared central eDRAM neuron memory.
+
+    The dispatcher fetches a pallet (16 neuron bricks, stride apart) per step.
+    With unit stride the bricks sit in one or two NM rows and are fetched in at
+    most two cycles; with larger strides they spread over more rows (Section
+    V-A4).  Fetches overlap with processing of the current pallet.
+    """
+
+    chip: ChipConfig = field(default_factory=lambda: DEFAULT_CHIP)
+
+    def pallet_fetch_cycles(self, layer: ConvLayerSpec) -> int:
+        """Cycles to assemble the next pallet's neuron bricks from NM."""
+        brick_bytes = BRICK_SIZE * self.chip.neuron_bytes
+        # The 16 bricks of a pallet are `stride` bricks apart along x, so the
+        # address span covered is 16 * stride bricks; the number of NM rows
+        # touched bounds the fetch latency, plus one cycle of non-alignment.
+        span_bytes = PALLET_WINDOWS * layer.stride * brick_bytes
+        rows = max(1, -(-span_bytes // self.chip.nm_row_bytes))
+        return min(rows, PALLET_WINDOWS)
+
+    def layer_footprint_bytes(self, layer: ConvLayerSpec) -> int:
+        """Bytes the layer's input neurons occupy in NM."""
+        return layer.input_neurons * self.chip.neuron_bytes
+
+    def fits(self, layer: ConvLayerSpec) -> bool:
+        """True when the layer's input neurons fit in NM without spilling."""
+        return self.layer_footprint_bytes(layer) <= self.chip.nm_bytes
+
+
+@dataclass
+class SynapseBuffer:
+    """The per-tile eDRAM synapse buffer.
+
+    The scheduling used throughout the paper guarantees every design reads each
+    synapse brick from SB the same number of times; the per-column
+    synchronization scheme preserves that property by buffering recently read
+    synapse sets in SSRs (Section V-E).
+    """
+
+    chip: ChipConfig = field(default_factory=lambda: DEFAULT_CHIP)
+
+    def layer_footprint_bytes(self, layer: ConvLayerSpec) -> int:
+        """Bytes of synapses a tile must hold for one filter pass of the layer."""
+        filters_held = min(layer.num_filters, self.chip.filters_per_tile)
+        synapse_bytes = self.chip.neuron_bytes
+        return filters_held * layer.synapses_per_filter * synapse_bytes
+
+    def fits(self, layer: ConvLayerSpec) -> bool:
+        """True when one filter pass of the layer fits in a tile's SB."""
+        return self.layer_footprint_bytes(layer) <= self.chip.sb_bytes_per_tile
+
+    def layer_reads(self, layer: ConvLayerSpec) -> int:
+        """SB reads (of one synapse set: 16 bricks) per tile for the layer.
+
+        Each brick position of each pallet requires one synapse-set read; the
+        count is identical across DaDN, STR and PRA by construction.
+        """
+        return layer.window_groups * layer.bricks_per_window * layer.filter_passes(
+            self.chip.filters_per_cycle
+        )
+
+
+def layer_fits_on_chip(layer: ConvLayerSpec, chip: ChipConfig = DEFAULT_CHIP) -> bool:
+    """Whether a layer's working set fits the on-chip memories."""
+    return NeuronMemory(chip).fits(layer) and SynapseBuffer(chip).fits(layer)

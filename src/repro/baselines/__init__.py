@@ -1,0 +1,14 @@
+"""Baseline accelerators the paper compares Pragmatic against."""
+
+from repro.baselines.dadiannao import DaDianNaoFunctional, DaDianNaoModel
+from repro.baselines.stripes import StripesFunctional, StripesModel
+from repro.baselines.zero_skip import ZeroSkipModel, zero_fraction
+
+__all__ = [
+    "DaDianNaoModel",
+    "DaDianNaoFunctional",
+    "StripesModel",
+    "StripesFunctional",
+    "ZeroSkipModel",
+    "zero_fraction",
+]

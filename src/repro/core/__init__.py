@@ -1,0 +1,61 @@
+"""Pragmatic core: oneffset generation, PIPs, scheduling, and the cycle simulator."""
+
+from repro.core.accelerator import (
+    LayerResult,
+    NetworkResult,
+    PragmaticAccelerator,
+    PragmaticConfig,
+)
+from repro.core.dispatcher import DispatchStep, Dispatcher
+from repro.core.oneffset_generator import NeuronLaneState, OneffsetGenerator
+from repro.core.pip import PragmaticInnerProductUnit, PragmaticTileFunctional
+from repro.core.scheduling import (
+    column_drain_cycles,
+    column_sync_cycles,
+    essential_terms,
+    pallet_sync_cycles,
+    step_drain_cycles,
+)
+from repro.core.software import SoftwareGuidance
+from repro.core.sweep import cycles_from_drain, sweep_network
+from repro.core.variants import (
+    FIG9_FIRST_STAGE_BITS,
+    FIG10_SSR_COUNTS,
+    column_variant,
+    fig9_variants,
+    fig10_variants,
+    fig12_variants,
+    pallet_variant,
+    paper_variants,
+    single_stage_variant,
+)
+
+__all__ = [
+    "PragmaticConfig",
+    "PragmaticAccelerator",
+    "LayerResult",
+    "NetworkResult",
+    "OneffsetGenerator",
+    "NeuronLaneState",
+    "Dispatcher",
+    "DispatchStep",
+    "PragmaticInnerProductUnit",
+    "PragmaticTileFunctional",
+    "SoftwareGuidance",
+    "column_drain_cycles",
+    "step_drain_cycles",
+    "pallet_sync_cycles",
+    "column_sync_cycles",
+    "essential_terms",
+    "sweep_network",
+    "cycles_from_drain",
+    "pallet_variant",
+    "column_variant",
+    "single_stage_variant",
+    "fig9_variants",
+    "fig10_variants",
+    "fig12_variants",
+    "paper_variants",
+    "FIG9_FIRST_STAGE_BITS",
+    "FIG10_SSR_COUNTS",
+]

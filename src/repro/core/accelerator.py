@@ -1,0 +1,244 @@
+"""The Pragmatic accelerator cycle simulator.
+
+:class:`PragmaticAccelerator` ties together the substrate pieces — calibrated
+activation traces, the pallet/brick tiling, the neuron memory fetch model, the
+per-column drain scheduler and the synchronization schemes — into per-layer and
+per-network cycle counts that are normalized against the DaDianNao baseline,
+exactly the quantity the paper's Figures 9, 10 and 12 report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.config import ChipConfig, DEFAULT_CHIP
+from repro.arch.memory import NeuronMemory
+from repro.arch.tiling import SamplingConfig, sample_pallet_values
+from repro.baselines.dadiannao import DaDianNaoModel
+from repro.core.scheduling import column_sync_cycles, essential_terms, pallet_sync_cycles
+from repro.core.software import SoftwareGuidance
+from repro.nn.traces import NetworkTrace
+
+__all__ = [
+    "PragmaticConfig",
+    "LayerResult",
+    "NetworkResult",
+    "PragmaticAccelerator",
+]
+
+_SYNCHRONIZATIONS = ("pallet", "column")
+
+
+@dataclass(frozen=True)
+class PragmaticConfig:
+    """Design-space point of the Pragmatic accelerator.
+
+    Attributes
+    ----------
+    first_stage_bits:
+        Control width ``L`` of the per-synapse first-stage shifters (0–4).
+        ``4`` is the single-stage PRAsingle design.
+    synchronization:
+        ``"pallet"`` for per-pallet neuron lane synchronization (Section V-A4)
+        or ``"column"`` for per-column synchronization with SSRs (Section V-E).
+    ssr_count:
+        Number of synapse set registers for column synchronization; ``None``
+        models the ideal, infinitely buffered configuration.  Ignored for
+        pallet synchronization.
+    software_trimming:
+        Whether software-provided per-layer precisions trim the neuron stream
+        (Section V-F).
+    chip:
+        Structural chip configuration (tiles, lanes, memories).
+    label:
+        Optional display label; a descriptive one is generated when omitted.
+    """
+
+    first_stage_bits: int = 2
+    synchronization: str = "pallet"
+    ssr_count: int | None = 1
+    software_trimming: bool = True
+    chip: ChipConfig = DEFAULT_CHIP
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.first_stage_bits <= 4:
+            raise ValueError("first_stage_bits must be in [0, 4]")
+        if self.synchronization not in _SYNCHRONIZATIONS:
+            raise ValueError(
+                f"synchronization must be one of {_SYNCHRONIZATIONS}, got "
+                f"{self.synchronization!r}"
+            )
+        if self.ssr_count is not None and self.ssr_count < 1:
+            raise ValueError("ssr_count must be positive or None (ideal)")
+
+    @property
+    def name(self) -> str:
+        """Human-readable configuration name (e.g. ``PRA-2b-1R``)."""
+        if self.label:
+            return self.label
+        base = f"PRA-{self.first_stage_bits}b"
+        if self.synchronization == "column":
+            suffix = "idealR" if self.ssr_count is None else f"{self.ssr_count}R"
+            base = f"{base}-{suffix}"
+        if not self.software_trimming:
+            base = f"{base}-fp"
+        return base
+
+
+@dataclass(frozen=True)
+class LayerResult:
+    """Cycle and term counts of one layer on one accelerator configuration."""
+
+    layer_name: str
+    cycles: float
+    baseline_cycles: float
+    terms: float
+    baseline_terms: float
+
+    @property
+    def speedup(self) -> float:
+        """Speedup over the DaDianNao baseline."""
+        return self.baseline_cycles / self.cycles if self.cycles else float("inf")
+
+    @property
+    def term_reduction(self) -> float:
+        """Fraction of baseline terms that remain (lower is better)."""
+        return self.terms / self.baseline_terms if self.baseline_terms else 0.0
+
+
+@dataclass(frozen=True)
+class NetworkResult:
+    """Per-layer results plus network-level aggregates."""
+
+    network: str
+    accelerator: str
+    layers: tuple[LayerResult, ...]
+
+    @property
+    def cycles(self) -> float:
+        return sum(layer.cycles for layer in self.layers)
+
+    @property
+    def baseline_cycles(self) -> float:
+        return sum(layer.baseline_cycles for layer in self.layers)
+
+    @property
+    def speedup(self) -> float:
+        """Network speedup over DaDianNao (total cycles ratio)."""
+        return self.baseline_cycles / self.cycles if self.cycles else float("inf")
+
+    @property
+    def term_reduction(self) -> float:
+        total_terms = sum(layer.terms for layer in self.layers)
+        total_baseline = sum(layer.baseline_terms for layer in self.layers)
+        return total_terms / total_baseline if total_baseline else 0.0
+
+    def summary(self) -> str:
+        """Readable multi-line summary of the per-layer and network speedups."""
+        lines = [f"{self.accelerator} on {self.network}: speedup {self.speedup:.2f}x vs DaDN"]
+        lines.extend(
+            f"  {layer.layer_name}: {layer.speedup:.2f}x "
+            f"({layer.cycles:,.0f} vs {layer.baseline_cycles:,.0f} cycles)"
+            for layer in self.layers
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class PragmaticAccelerator:
+    """Cycle-level simulator for a Pragmatic configuration."""
+
+    config: PragmaticConfig = field(default_factory=PragmaticConfig)
+
+    def __post_init__(self) -> None:
+        self._baseline = DaDianNaoModel(self.config.chip)
+        self._memory = NeuronMemory(self.config.chip)
+
+    def simulate_layer(
+        self,
+        trace: NetworkTrace,
+        layer_index: int,
+        sampling: SamplingConfig = SamplingConfig(),
+        guidance: SoftwareGuidance | None = None,
+    ) -> LayerResult:
+        """Simulate one layer and return its cycle/term counts.
+
+        Parameters
+        ----------
+        trace:
+            Calibrated activation trace of the network.
+        layer_index:
+            Which layer of the trace to simulate.
+        sampling:
+            Pallet sampling configuration; sampled pallets are scaled back to
+            the layer's full pallet count.
+        guidance:
+            Software guidance override.  By default the trace's precision
+            windows are used when the configuration enables trimming.
+        """
+        layer = trace.layer(layer_index)
+        storage_bits = trace.storage_bits
+        values, total_pallets = sample_pallet_values(trace, layer_index, sampling)
+
+        if guidance is None:
+            guidance = SoftwareGuidance.from_trace(
+                trace, enabled=self.config.software_trimming
+            )
+        values = guidance.apply(values, layer_index)
+
+        nm_cycles = self._memory.pallet_fetch_cycles(layer)
+        min_step = max(1, nm_cycles)
+        if self.config.synchronization == "pallet":
+            per_pallet = pallet_sync_cycles(
+                values,
+                self.config.first_stage_bits,
+                storage_bits,
+                min_step_cycles=min_step,
+            )
+        else:
+            per_pallet = column_sync_cycles(
+                values,
+                self.config.first_stage_bits,
+                storage_bits,
+                ssr_count=self.config.ssr_count,
+                min_step_cycles=min_step,
+            )
+
+        passes = layer.filter_passes(self.config.chip.filters_per_cycle)
+        cycles = float(per_pallet.mean()) * total_pallets * passes
+
+        sampled_neurons = values.size
+        terms_per_neuron = essential_terms(values, storage_bits) / max(1, sampled_neurons)
+        terms = terms_per_neuron * layer.macs
+
+        return LayerResult(
+            layer_name=layer.name,
+            cycles=cycles,
+            baseline_cycles=float(self._baseline.layer_cycles(layer)),
+            terms=terms,
+            baseline_terms=float(self._baseline.layer_terms(layer, storage_bits)),
+        )
+
+    def simulate_network(
+        self,
+        trace: NetworkTrace,
+        sampling: SamplingConfig = SamplingConfig(),
+        guidance: SoftwareGuidance | None = None,
+    ) -> NetworkResult:
+        """Simulate every convolutional layer of a traced network."""
+        layers = tuple(
+            self.simulate_layer(trace, index, sampling=sampling, guidance=guidance)
+            for index in range(trace.network.num_layers)
+        )
+        return NetworkResult(
+            network=trace.network.name,
+            accelerator=self.config.name,
+            layers=layers,
+        )
+
+
+def _as_array(values: np.ndarray) -> np.ndarray:
+    return np.asarray(values)

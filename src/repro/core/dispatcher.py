@@ -1,0 +1,107 @@
+"""The Dispatcher: pallet fetch from NM plus oneffset generation (Section V-C).
+
+The dispatcher reads 16 neuron bricks (one pallet) from the central neuron
+memory, converts them on the fly to the oneffset representation through 256
+parallel oneffset generators, and broadcasts one oneffset per neuron per cycle
+to all tiles.  Its latency is hidden by pipelining, so the cycle models only
+need the NM fetch latency floor it imposes; the functional path here exists so
+the mechanism itself is executable and testable, and to produce the memory
+access counts the energy model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.arch.config import ChipConfig, DEFAULT_CHIP
+from repro.arch.memory import AccessCounters, NeuronMemory
+from repro.arch.tiling import BrickPosition, brick_positions, extract_brick, pallet_window_coordinates
+from repro.nn.layers import ConvLayerSpec
+from repro.nn.reference import pad_input
+from repro.core.oneffset_generator import OneffsetGenerator
+
+__all__ = ["DispatchStep", "Dispatcher"]
+
+
+@dataclass(frozen=True)
+class DispatchStep:
+    """One brick step of one pallet as broadcast to the tiles.
+
+    Attributes
+    ----------
+    pallet_index:
+        Which pallet (window group) the step belongs to.
+    position:
+        The brick position within the window.
+    oneffsets:
+        Per window lane, per neuron lane: ascending oneffset lists.
+    signs:
+        Per window lane, per neuron lane: +1/-1 signs driving the PIP negation.
+    nm_fetch_cycles:
+        Cycles the NM fetch of this step's neuron bricks takes.
+    """
+
+    pallet_index: int
+    position: BrickPosition
+    oneffsets: tuple[tuple[tuple[int, ...], ...], ...]
+    signs: tuple[tuple[int, ...], ...]
+    nm_fetch_cycles: int
+
+    @property
+    def max_oneffsets(self) -> int:
+        """Essential bits of the busiest neuron in the step (minimum 1)."""
+        longest = max(
+            (len(lane) for window in self.oneffsets for lane in window), default=0
+        )
+        return max(1, longest)
+
+
+@dataclass
+class Dispatcher:
+    """Feeds the PRA tiles with oneffset-encoded neuron pallets."""
+
+    chip: ChipConfig = field(default_factory=lambda: DEFAULT_CHIP)
+    storage_bits: int = 16
+
+    def __post_init__(self) -> None:
+        self._memory = NeuronMemory(self.chip)
+        self._generator = OneffsetGenerator(storage_bits=self.storage_bits)
+
+    def dispatch_layer(
+        self, layer: ConvLayerSpec, neurons: np.ndarray
+    ) -> Iterator[DispatchStep]:
+        """Yield every dispatch step of a layer in processing order."""
+        padded = pad_input(np.asarray(neurons, dtype=np.int64), layer.padding)
+        nm_cycles = self._memory.pallet_fetch_cycles(layer)
+        positions = brick_positions(layer)
+        for pallet_index, windows in enumerate(pallet_window_coordinates(layer)):
+            for position in positions:
+                window_offsets = []
+                window_signs = []
+                for oy, ox in windows:
+                    brick = extract_brick(padded, layer, oy, ox, position)
+                    lists = self._generator.oneffset_lists(brick)
+                    window_offsets.append(tuple(tuple(lst) for lst in lists))
+                    window_signs.append(tuple(-1 if v < 0 else 1 for v in brick))
+                yield DispatchStep(
+                    pallet_index=pallet_index,
+                    position=position,
+                    oneffsets=tuple(window_offsets),
+                    signs=tuple(window_signs),
+                    nm_fetch_cycles=nm_cycles,
+                )
+
+    def layer_accesses(self, layer: ConvLayerSpec) -> AccessCounters:
+        """NM/NBin access counts for one layer (per filter pass the tiles repeat SB reads)."""
+        passes = layer.filter_passes(self.chip.filters_per_cycle)
+        steps = layer.window_groups * layer.bricks_per_window
+        return AccessCounters(
+            nm_reads=steps,
+            nm_writes=max(1, layer.output_neurons // self.chip.synapses_per_filter_lane),
+            sb_reads=steps * passes,
+            nbin_reads=steps * passes,
+            nbout_writes=max(1, layer.output_neurons // self.chip.synapses_per_filter_lane),
+        )

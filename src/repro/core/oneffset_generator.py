@@ -1,0 +1,98 @@
+"""On-the-fly oneffset generation (Section V-C).
+
+Neurons are stored in NM in their positional representation and converted into
+the explicit oneffset representation as they are broadcast to the tiles.  The
+conversion is a leading-one detector per neuron lane: every cycle it emits the
+next outstanding power of two together with an end-of-neuron marker.
+
+This module provides both the batch converter used by the functional models and
+a cycle-stepped generator that mirrors the hardware's per-lane behaviour (used
+by the dispatcher model and its tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.numerics.oneffsets import OneffsetStream, encode_oneffsets
+
+__all__ = ["OneffsetGenerator", "NeuronLaneState"]
+
+
+@dataclass
+class NeuronLaneState:
+    """Per-lane state of the oneffset generator.
+
+    ``pending`` holds the not-yet-emitted oneffsets of the current neuron in
+    ascending order; ``sign`` is applied by the PIP's negation input.
+    """
+
+    pending: list[int]
+    sign: int
+    done: bool = False
+
+    def next_offset(self) -> tuple[int, bool, bool]:
+        """Emit ``(offset, end_of_neuron, is_null)`` and advance the lane.
+
+        A lane whose neuron is exhausted keeps emitting null terms (the PIP's
+        AND gate suppresses their contribution) until the whole group advances.
+        """
+        if not self.pending:
+            self.done = True
+            return 0, True, True
+        offset = self.pending.pop(0)
+        end = not self.pending
+        if end:
+            self.done = True
+        return offset, end, False
+
+
+class OneffsetGenerator:
+    """Converts positional neuron values into oneffset streams.
+
+    Parameters
+    ----------
+    storage_bits:
+        Width of the storage representation; values must fit in it.
+    """
+
+    def __init__(self, storage_bits: int = 16) -> None:
+        if storage_bits < 1:
+            raise ValueError("storage_bits must be positive")
+        self.storage_bits = storage_bits
+
+    def convert_value(self, value: int) -> OneffsetStream:
+        """Serialize one neuron into its wire-level oneffset stream."""
+        return OneffsetStream.from_value(int(value), bits=self.storage_bits)
+
+    def convert_brick(self, values: np.ndarray) -> list[OneffsetStream]:
+        """Serialize one 16-neuron brick."""
+        return [self.convert_value(int(v)) for v in np.asarray(values).ravel()]
+
+    def lane_states(self, values: np.ndarray) -> list[NeuronLaneState]:
+        """Initial per-lane generator state for a brick of neuron values."""
+        states = []
+        for raw in np.asarray(values, dtype=np.int64).ravel():
+            magnitude = int(abs(raw))
+            if magnitude >= (1 << self.storage_bits):
+                raise ValueError(
+                    f"value {int(raw)} does not fit in {self.storage_bits} bits"
+                )
+            states.append(
+                NeuronLaneState(
+                    pending=list(encode_oneffsets(magnitude, ascending=True)),
+                    sign=-1 if raw < 0 else 1,
+                )
+            )
+        return states
+
+    def oneffset_lists(self, values: np.ndarray) -> list[list[int]]:
+        """Ascending oneffset lists for a brick (the scheduler's input format)."""
+        return [list(state.pending) for state in self.lane_states(values)]
+
+    def max_stream_length(self, values: np.ndarray) -> int:
+        """Cycles the slowest lane of a brick needs (minimum 1)."""
+        lists = self.oneffset_lists(values)
+        return max(1, max((len(lst) for lst in lists), default=1))

@@ -1,0 +1,141 @@
+"""Functional model of the Pragmatic Inner Product unit (PIP) and tile.
+
+The cycle models in :mod:`repro.core.scheduling` only count cycles; the classes
+here actually *compute* through the serial PIP datapath of Figures 6 and 7 —
+first-stage shifters, adder tree, second-stage shifter, accumulator — so that
+the test suite can assert exact equivalence with the bit-parallel reference
+convolution for every synchronization and shifter configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.config import ChipConfig, DEFAULT_CHIP
+from repro.arch.tiling import brick_positions, extract_brick, pallet_window_coordinates
+from repro.nn.layers import BRICK_SIZE, ConvLayerSpec
+from repro.nn.reference import check_shapes, pad_input
+from repro.numerics.encoding import serial_term_schedule
+from repro.numerics.oneffsets import encode_oneffsets
+
+__all__ = ["PragmaticInnerProductUnit", "PragmaticTileFunctional"]
+
+
+@dataclass(frozen=True)
+class PragmaticInnerProductUnit:
+    """One PIP: 16 synapse lanes fed by one window's neuron oneffsets.
+
+    Parameters
+    ----------
+    first_stage_bits:
+        Control width ``L`` of the per-synapse first-stage shifters.  ``L = 4``
+        is the single-stage design (full reach), smaller values add a shared
+        second-stage shifter and may stall lanes (Section V-D).
+    storage_bits:
+        Neuron storage width.
+    """
+
+    first_stage_bits: int = 2
+    storage_bits: int = 16
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.first_stage_bits <= 8:
+            raise ValueError("first_stage_bits must be in [0, 8]")
+        if self.storage_bits < 1:
+            raise ValueError("storage_bits must be positive")
+
+    def compute(
+        self, synapse_brick: np.ndarray, neuron_brick: np.ndarray
+    ) -> tuple[int, int]:
+        """Serially compute one brick's inner product.
+
+        Returns ``(partial_sum, cycles)``.  The partial sum must equal
+        ``dot(synapse_brick, neuron_brick)``.
+        """
+        synapses = np.asarray(synapse_brick, dtype=np.int64).ravel()
+        neurons = np.asarray(neuron_brick, dtype=np.int64).ravel()
+        if synapses.shape != neurons.shape:
+            raise ValueError("synapse and neuron bricks must have the same length")
+        partial, cycles = self._compute_many(synapses[None, :], neurons)
+        return int(partial[0]), cycles
+
+    def _compute_many(
+        self, synapse_bricks: np.ndarray, neuron_brick: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        """Compute the inner product of one neuron brick against many synapse bricks.
+
+        ``synapse_bricks`` is shaped ``[filters, lanes]``; the same neuron
+        oneffset schedule drives every filter's PIP in the column, mirroring the
+        hardware where a column's PIPs operate in lockstep.
+        """
+        neurons = np.asarray(neuron_brick, dtype=np.int64).ravel()
+        signs = np.where(neurons < 0, -1, 1)
+        magnitudes = np.abs(neurons)
+        if magnitudes.size and int(magnitudes.max()) >= (1 << self.storage_bits):
+            raise ValueError("neuron magnitude does not fit the storage representation")
+        oneffsets = [list(encode_oneffsets(int(m), ascending=True)) for m in magnitudes]
+        schedule = serial_term_schedule(oneffsets, self.first_stage_bits)
+
+        accumulator = np.zeros(synapse_bricks.shape[0], dtype=np.int64)
+        for cycle in schedule:
+            tree_sum = np.zeros(synapse_bricks.shape[0], dtype=np.int64)
+            for lane, shift in enumerate(cycle.first_stage_shifts):
+                if shift is None:
+                    # Stalled or exhausted lane: the AND gate injects a null term.
+                    continue
+                tree_sum += signs[lane] * (synapse_bricks[:, lane] << shift)
+            accumulator += tree_sum << cycle.common_shift
+        return accumulator, max(1, len(schedule))
+
+
+@dataclass
+class PragmaticTileFunctional:
+    """Functional Pragmatic tile: computes a layer through the PIP array.
+
+    Produces the layer's output neurons and the per-pallet-synchronization cycle
+    count, walking the same pallet/brick traversal as the cycle model.
+    """
+
+    first_stage_bits: int = 2
+    storage_bits: int = 16
+    chip: ChipConfig = field(default_factory=lambda: DEFAULT_CHIP)
+
+    def compute_layer(
+        self, layer: ConvLayerSpec, neurons: np.ndarray, synapses: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        """Compute output neurons ``[N, Oy, Ox]`` and the pallet-sync cycle count."""
+        check_shapes(layer, neurons, synapses)
+        padded = pad_input(np.asarray(neurons, dtype=np.int64), layer.padding)
+        weights = np.asarray(synapses, dtype=np.int64)
+        pip = PragmaticInnerProductUnit(
+            first_stage_bits=self.first_stage_bits, storage_bits=self.storage_bits
+        )
+        out = np.zeros(
+            (layer.num_filters, layer.output_height, layer.output_width), dtype=np.int64
+        )
+        positions = brick_positions(layer)
+        total_cycles = 0
+        passes = layer.filter_passes(self.chip.filters_per_cycle)
+        for windows in pallet_window_coordinates(layer):
+            accumulators = np.zeros((layer.num_filters, len(windows)), dtype=np.int64)
+            pallet_cycles = 0
+            for position in positions:
+                start = position.channel_brick * BRICK_SIZE
+                stop = min(start + BRICK_SIZE, layer.input_channels)
+                synapse_bricks = np.zeros((layer.num_filters, BRICK_SIZE), dtype=np.int64)
+                synapse_bricks[:, : stop - start] = weights[
+                    :, start:stop, position.fy, position.fx
+                ]
+                step_cycles = 1
+                for column, (oy, ox) in enumerate(windows):
+                    neuron_brick = extract_brick(padded, layer, oy, ox, position)
+                    partial, cycles = pip._compute_many(synapse_bricks, neuron_brick)
+                    accumulators[:, column] += partial
+                    step_cycles = max(step_cycles, cycles)
+                pallet_cycles += step_cycles
+            total_cycles += pallet_cycles
+            for column, (oy, ox) in enumerate(windows):
+                out[:, oy, ox] = accumulators[:, column]
+        return out, total_cycles * passes

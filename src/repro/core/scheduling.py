@@ -1,0 +1,199 @@
+"""Cycle scheduling models for Pragmatic's neuron-lane synchronization schemes.
+
+Three questions determine Pragmatic's cycle count for a layer:
+
+1. How many cycles does a PIP *column* (the 16 neurons of one window's brick)
+   need to drain its oneffsets under 2-stage shifting with a first-stage reach
+   of ``2**L``?  (:func:`column_drain_cycles` — vectorized over many columns.)
+2. Under **per-pallet synchronization** (Section V-A4) every window lane waits
+   for the slowest column before the next brick step, so a step costs the
+   maximum column drain over the pallet (:func:`pallet_sync_cycles`).
+3. Under **per-column synchronization** (Section V-E) columns advance
+   independently, limited by the single SB port and by the number of synapse
+   set registers (SSRs); :func:`column_sync_cycles` models this with a small
+   dynamic program over brick steps.
+
+All functions accept integer neuron values shaped
+``[pallets, steps, windows, neurons]`` (the layout produced by
+:func:`repro.arch.tiling.sample_pallet_values`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.numerics.fixedpoint import bit_matrix
+
+__all__ = [
+    "column_drain_cycles",
+    "step_drain_cycles",
+    "pallet_sync_cycles",
+    "column_sync_cycles",
+    "essential_terms",
+]
+
+
+def column_drain_cycles(bits: np.ndarray, first_stage_bits: int) -> np.ndarray:
+    """Cycles for PIP columns to drain their neurons' oneffsets.
+
+    Parameters
+    ----------
+    bits:
+        Boolean array of shape ``(..., lanes, positions)``: the bit planes of
+        the neurons feeding one column (``lanes`` neurons of ``positions`` bit
+        positions each).  Leading dimensions enumerate independent columns.
+    first_stage_bits:
+        Width ``L`` of the first-stage shifter control.  Each cycle the control
+        processes, for every lane, the lowest outstanding oneffset whose
+        distance from the column-wide minimum is below ``2**L``; other lanes
+        stall (Figure 7 of the paper).
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer cycle counts with shape ``bits.shape[:-2]``.  Columns with no
+        set bits report zero cycles; callers clamp to their minimum step cost.
+    """
+    arr = np.asarray(bits, dtype=bool)
+    if arr.ndim < 2:
+        raise ValueError("bits must have at least (lanes, positions) dimensions")
+    if first_stage_bits < 0:
+        raise ValueError("first_stage_bits must be non-negative")
+    *lead, lanes, positions = arr.shape
+    reach = 1 << first_stage_bits
+
+    if reach >= positions:
+        # Full-reach shifters never stall: a column finishes when its busiest
+        # lane has streamed all of its oneffsets.
+        return arr.sum(axis=-1).max(axis=-1)
+
+    flat = arr.reshape(-1, lanes, positions).copy()
+    cycles = np.zeros(flat.shape[0], dtype=np.int64)
+    position_index = np.arange(positions)
+    active = flat.any(axis=(1, 2))
+    while active.any():
+        sub = flat[active]
+        # Lowest outstanding oneffset per lane ("positions" marks an empty lane).
+        head = np.where(sub, position_index, positions).min(axis=2)
+        column_minimum = head.min(axis=1)
+        process = (head < positions) & (head - column_minimum[:, None] < reach)
+        rows, lane_index = np.nonzero(process)
+        sub[rows, lane_index, head[rows, lane_index]] = False
+        flat[active] = sub
+        cycles[active] += 1
+        active = flat.any(axis=(1, 2))
+    return cycles.reshape(lead) if lead else cycles.reshape(())
+
+
+def step_drain_cycles(
+    step_values: np.ndarray, first_stage_bits: int, storage_bits: int
+) -> np.ndarray:
+    """Per-column drain cycles for integer neuron values.
+
+    ``step_values`` has shape ``(..., windows, neurons)``; the result has shape
+    ``(..., windows)``.
+    """
+    bits = bit_matrix(step_values, bits=storage_bits)
+    return column_drain_cycles(bits, first_stage_bits)
+
+
+def pallet_sync_cycles(
+    step_values: np.ndarray,
+    first_stage_bits: int,
+    storage_bits: int,
+    min_step_cycles: int = 1,
+) -> np.ndarray:
+    """Cycles per pallet under per-pallet neuron lane synchronization.
+
+    Parameters
+    ----------
+    step_values:
+        Integer neuron values shaped ``[pallets, steps, windows, neurons]``.
+    first_stage_bits:
+        First-stage shifter control width ``L``.
+    storage_bits:
+        Storage representation width (16 or 8).
+    min_step_cycles:
+        Lower bound on the cost of one brick step; covers the single cycle a
+        null pallet still takes and the NM fetch overlap floor
+        (``max(NM_cycles, processing)`` of Section V-A4).
+
+    Returns
+    -------
+    numpy.ndarray
+        Total cycles per pallet, shape ``[pallets]``.
+    """
+    if min_step_cycles < 1:
+        raise ValueError("min_step_cycles must be at least 1")
+    values = _check_pallet_shape(step_values)
+    column = step_drain_cycles(values, first_stage_bits, storage_bits)
+    step = np.maximum(column.max(axis=2), min_step_cycles)
+    return step.sum(axis=1)
+
+
+def column_sync_cycles(
+    step_values: np.ndarray,
+    first_stage_bits: int,
+    storage_bits: int,
+    ssr_count: int | None = 1,
+    sb_read_cycles: int = 1,
+    min_step_cycles: int = 1,
+) -> np.ndarray:
+    """Cycles per pallet under per-column synchronization with ``ssr_count`` SSRs.
+
+    The model follows Section V-E: only one synapse set can be read from the SB
+    per cycle; a set stays in its SSR until every column has copied it into its
+    synapse registers, and only then can the SSR be reused.  Columns process
+    brick steps in order at their own pace:
+
+    * ``load[b] = max(load[b-1] + sb_read_cycles, copied[b - R])``
+    * ``start[c, b] = max(finish[c, b-1], load[b])``
+    * ``finish[c, b] = start[c, b] + drain[c, b]``
+
+    where ``copied[b]`` is the time the last column started step ``b`` (i.e. has
+    copied the set out of the SSR).  ``ssr_count=None`` models the ideal,
+    infinitely-buffered configuration ("perCol-ideal" in Figure 10).
+
+    Returns the per-pallet completion times, shape ``[pallets]``.
+    """
+    if ssr_count is not None and ssr_count < 1:
+        raise ValueError("ssr_count must be positive (or None for ideal buffering)")
+    if sb_read_cycles < 1:
+        raise ValueError("sb_read_cycles must be at least 1")
+    if min_step_cycles < 1:
+        raise ValueError("min_step_cycles must be at least 1")
+    values = _check_pallet_shape(step_values)
+    drain = np.maximum(
+        step_drain_cycles(values, first_stage_bits, storage_bits), min_step_cycles
+    )
+    pallets, steps, windows = drain.shape
+    registers = steps if ssr_count is None else min(ssr_count, steps)
+
+    finish = np.zeros((pallets, windows), dtype=np.float64)
+    load_previous = np.zeros(pallets, dtype=np.float64)
+    copied: list[np.ndarray] = []
+    for step in range(steps):
+        load = load_previous + sb_read_cycles if step else np.full(pallets, sb_read_cycles, dtype=np.float64)
+        if step >= registers:
+            load = np.maximum(load, copied[step - registers])
+        start = np.maximum(finish, load[:, None])
+        finish = start + drain[:, step, :]
+        copied.append(start.max(axis=1))
+        load_previous = load
+    return finish.max(axis=1)
+
+
+def essential_terms(step_values: np.ndarray, storage_bits: int) -> float:
+    """Total essential-bit terms contained in the sampled neuron values."""
+    bits = bit_matrix(step_values, bits=storage_bits)
+    return float(bits.sum())
+
+
+def _check_pallet_shape(step_values: np.ndarray) -> np.ndarray:
+    values = np.asarray(step_values)
+    if values.ndim != 4:
+        raise ValueError(
+            "step_values must be shaped [pallets, steps, windows, neurons], got "
+            f"shape {values.shape}"
+        )
+    return values

@@ -1,0 +1,144 @@
+"""Efficient design-space sweeps over Pragmatic configurations.
+
+The paper's figures evaluate many configurations over the same traces.  The
+expensive part of the cycle simulation — computing per-column drain cycles from
+the neuron bit planes — only depends on the first-stage shifter width and on
+whether software trimming is applied, not on the synchronization scheme or the
+SSR count.  :func:`sweep_network` therefore samples each layer's pallets once,
+computes drains once per ``(first_stage_bits, software_trimming)`` group and
+derives every requested configuration's cycle count from them, producing the
+same results as :class:`repro.core.accelerator.PragmaticAccelerator` at a
+fraction of the cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.memory import NeuronMemory
+from repro.arch.tiling import SamplingConfig, sample_pallet_values
+from repro.baselines.dadiannao import DaDianNaoModel
+from repro.core.accelerator import LayerResult, NetworkResult, PragmaticConfig
+from repro.core.scheduling import essential_terms, step_drain_cycles
+from repro.core.software import SoftwareGuidance
+from repro.nn.traces import NetworkTrace
+
+__all__ = ["sweep_network", "cycles_from_drain"]
+
+
+def cycles_from_drain(
+    drain: np.ndarray,
+    config: PragmaticConfig,
+    min_step_cycles: int,
+    sb_read_cycles: int = 1,
+) -> np.ndarray:
+    """Per-pallet cycles from precomputed drain counts ``[pallets, steps, windows]``."""
+    clamped = np.maximum(drain, min_step_cycles)
+    if config.synchronization == "pallet":
+        return clamped.max(axis=2).sum(axis=1)
+
+    pallets, steps, windows = clamped.shape
+    registers = steps if config.ssr_count is None else min(config.ssr_count, steps)
+    finish = np.zeros((pallets, windows), dtype=np.float64)
+    load_previous = np.zeros(pallets, dtype=np.float64)
+    copied: list[np.ndarray] = []
+    for step in range(steps):
+        if step:
+            load = load_previous + sb_read_cycles
+        else:
+            load = np.full(pallets, sb_read_cycles, dtype=np.float64)
+        if step >= registers:
+            load = np.maximum(load, copied[step - registers])
+        start = np.maximum(finish, load[:, None])
+        finish = start + clamped[:, step, :]
+        copied.append(start.max(axis=1))
+        load_previous = load
+    return finish.max(axis=1)
+
+
+@dataclass
+class _DrainGroup:
+    """Drain tensors shared by all configurations with the same bit behaviour."""
+
+    drain: np.ndarray
+    terms: float
+
+
+def sweep_network(
+    trace: NetworkTrace,
+    configs: dict[str, PragmaticConfig],
+    sampling: SamplingConfig = SamplingConfig(),
+) -> dict[str, NetworkResult]:
+    """Simulate every configuration over one traced network.
+
+    Parameters
+    ----------
+    trace:
+        Calibrated activation trace.
+    configs:
+        Mapping of result label to configuration.  All configurations must share
+        the same chip structure (they do for every paper experiment).
+    sampling:
+        Pallet sampling configuration.
+
+    Returns
+    -------
+    dict
+        Label → :class:`NetworkResult`, numerically identical to running each
+        configuration through :class:`PragmaticAccelerator` with the same
+        sampling seed.
+    """
+    if not configs:
+        raise ValueError("configs must not be empty")
+    chips = {config.chip for config in configs.values()}
+    if len(chips) != 1:
+        raise ValueError("all configurations in one sweep must share the same chip")
+    chip = next(iter(chips))
+    baseline = DaDianNaoModel(chip)
+    memory = NeuronMemory(chip)
+
+    per_config_layers: dict[str, list[LayerResult]] = {label: [] for label in configs}
+    storage_bits = trace.storage_bits
+
+    for layer_index in range(trace.network.num_layers):
+        layer = trace.layer(layer_index)
+        values, total_pallets = sample_pallet_values(trace, layer_index, sampling)
+        min_step = max(1, memory.pallet_fetch_cycles(layer))
+        passes = layer.filter_passes(chip.filters_per_cycle)
+        baseline_cycles = float(baseline.layer_cycles(layer))
+        baseline_terms = float(baseline.layer_terms(layer, storage_bits))
+
+        groups: dict[tuple[int, bool], _DrainGroup] = {}
+        for label, config in configs.items():
+            key = (config.first_stage_bits, config.software_trimming)
+            if key not in groups:
+                guidance = SoftwareGuidance.from_trace(trace, enabled=config.software_trimming)
+                trimmed = guidance.apply(values, layer_index)
+                drain = step_drain_cycles(trimmed, config.first_stage_bits, storage_bits)
+                terms_per_neuron = essential_terms(trimmed, storage_bits) / max(1, trimmed.size)
+                groups[key] = _DrainGroup(
+                    drain=drain, terms=terms_per_neuron * layer.macs
+                )
+            group = groups[key]
+            per_pallet = cycles_from_drain(group.drain, config, min_step)
+            cycles = float(per_pallet.mean()) * total_pallets * passes
+            per_config_layers[label].append(
+                LayerResult(
+                    layer_name=layer.name,
+                    cycles=cycles,
+                    baseline_cycles=baseline_cycles,
+                    terms=group.terms,
+                    baseline_terms=baseline_terms,
+                )
+            )
+
+    return {
+        label: NetworkResult(
+            network=trace.network.name,
+            accelerator=configs[label].name,
+            layers=tuple(layers),
+        )
+        for label, layers in per_config_layers.items()
+    }

@@ -1,0 +1,5 @@
+"""Experiment harness: one module per table and figure of the paper's evaluation."""
+
+from repro.experiments.base import PRESETS, ExperimentResult, Preset, get_preset
+
+__all__ = ["ExperimentResult", "Preset", "PRESETS", "get_preset"]

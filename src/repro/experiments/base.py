@@ -1,0 +1,102 @@
+"""Shared infrastructure of the experiment harness.
+
+Every paper table and figure has a module in this package exposing
+``run(preset, seed) -> ExperimentResult``.  The preset controls how much work
+the reproduction does (trace sample sizes, pallets simulated per layer, which
+networks are included) so the same experiment can serve quick benchmarks and
+full reproduction runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.tiling import SamplingConfig
+from repro.nn.networks import NETWORK_NAMES
+
+__all__ = ["Preset", "PRESETS", "get_preset", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class Preset:
+    """Workload size of an experiment run.
+
+    Attributes
+    ----------
+    name:
+        Preset identifier.
+    networks:
+        Networks to evaluate.
+    samples_per_layer:
+        Neuron values sampled per layer for the statistics passes.
+    max_pallets:
+        Pallets sampled per layer by the cycle simulator.
+    seed:
+        Default random seed (kept in the preset so benchmark runs are
+        reproducible end to end).
+    """
+
+    name: str
+    networks: tuple[str, ...] = NETWORK_NAMES
+    samples_per_layer: int = 8000
+    max_pallets: int = 6
+    seed: int = 0
+
+    def sampling(self) -> SamplingConfig:
+        """Sampling configuration for the cycle simulators."""
+        return SamplingConfig(max_pallets=self.max_pallets, seed=self.seed)
+
+
+#: Named presets.  ``smoke`` exists for the test suite, ``fast`` for the
+#: benchmark harness, ``full`` for a complete reproduction run.
+PRESETS: dict[str, Preset] = {
+    "smoke": Preset(name="smoke", networks=("alexnet", "vgg_m"), samples_per_layer=2000, max_pallets=2),
+    "fast": Preset(name="fast", samples_per_layer=8000, max_pallets=6),
+    "full": Preset(name="full", samples_per_layer=30000, max_pallets=24),
+}
+
+
+def get_preset(preset: str | Preset) -> Preset:
+    """Resolve a preset by name (or pass a custom :class:`Preset` through)."""
+    if isinstance(preset, Preset):
+        return preset
+    if preset not in PRESETS:
+        raise KeyError(f"unknown preset {preset!r}; available: {', '.join(PRESETS)}")
+    return PRESETS[preset]
+
+
+@dataclass
+class ExperimentResult:
+    """The reproduced rows of one paper table or figure.
+
+    Attributes
+    ----------
+    experiment:
+        Short experiment id (``"fig9"``, ``"table3"`` …).
+    title:
+        Human readable title including the paper artifact it reproduces.
+    headers:
+        Column headers.
+    rows:
+        Table rows (lists of cells; strings or numbers).
+    notes:
+        Free-form notes: substitutions, known deviations, paper reference values.
+    metadata:
+        Machine-readable extras (e.g. geometric means) for tests and callers.
+    """
+
+    experiment: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]]
+    notes: str = ""
+    metadata: dict[str, float] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        """Render the experiment as readable text."""
+        from repro.analysis.tables import format_table
+
+        parts = [self.title, "", format_table(self.headers, self.rows)]
+        if self.notes:
+            parts.extend(["", self.notes])
+        return "\n".join(parts)

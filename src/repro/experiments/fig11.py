@@ -1,0 +1,71 @@
+"""Figure 11 — energy efficiency relative to DaDianNao."""
+
+from __future__ import annotations
+
+from repro.analysis.speedup import geometric_mean, stripes_result
+from repro.analysis.tables import format_ratio
+from repro.core.variants import column_variant, pallet_variant
+from repro.core.sweep import sweep_network
+from repro.energy.efficiency import design_efficiency
+from repro.experiments.base import ExperimentResult, Preset, get_preset
+from repro.nn.calibration import calibrated_trace
+from repro.nn.networks import get_network
+
+__all__ = ["run", "PAPER_GEOMEANS"]
+
+#: Average efficiencies the paper reports: Stripes +16%, PRA-4b −5%, PRA-2b +28%,
+#: PRA-2b-1R +48%.
+PAPER_GEOMEANS: dict[str, float] = {
+    "Stripes": 1.16,
+    "PRA-4b": 0.95,
+    "PRA-2b": 1.28,
+    "PRA-2b-1R": 1.48,
+}
+
+
+def run(preset: str | Preset = "fast", seed: int = 0) -> ExperimentResult:
+    """Reproduce Figure 11: relative energy efficiency of the headline designs."""
+    config = get_preset(preset)
+    pragmatic_designs = {
+        "PRA-4b": pallet_variant(4),
+        "PRA-2b": pallet_variant(2),
+        "PRA-2b-1R": column_variant(1),
+    }
+    engine_names = ["Stripes", *pragmatic_designs.keys()]
+    headers = ["network", *engine_names]
+    rows: list[list[object]] = []
+    metadata: dict[str, float] = {}
+    efficiencies: dict[str, list[float]] = {name: [] for name in engine_names}
+
+    for name in config.networks:
+        network = get_network(name)
+        trace = calibrated_trace(network, seed=seed)
+        results = sweep_network(trace, pragmatic_designs, sampling=config.sampling())
+        row: list[object] = [network.name]
+        stripes = design_efficiency("stripes", stripes_result(trace))
+        row.append(format_ratio(stripes.efficiency))
+        efficiencies["Stripes"].append(stripes.efficiency)
+        metadata[f"{network.name}:Stripes"] = stripes.efficiency
+        for label, design in pragmatic_designs.items():
+            entry = design_efficiency(design, results[label])
+            row.append(format_ratio(entry.efficiency))
+            efficiencies[label].append(entry.efficiency)
+            metadata[f"{network.name}:{label}"] = entry.efficiency
+        rows.append(row)
+
+    geomeans = {name: geometric_mean(values) for name, values in efficiencies.items()}
+    rows.append(["geomean", *[format_ratio(geomeans[name]) for name in engine_names]])
+    for name, value in geomeans.items():
+        metadata[f"geomean:{name}"] = value
+    notes = (
+        "Efficiency is E_DaDN / E_design = speedup / chip-power ratio.  Paper averages:\n"
+        "Stripes 1.16x, PRA-4b 0.95x, PRA-2b 1.28x, PRA-2b-1R 1.48x."
+    )
+    return ExperimentResult(
+        experiment="fig11",
+        title="Figure 11: energy efficiency relative to DaDianNao",
+        headers=headers,
+        rows=rows,
+        notes=notes,
+        metadata=metadata,
+    )

@@ -1,0 +1,55 @@
+"""Figure 2 — convolutional layer computational demands, 16-bit fixed point."""
+
+from __future__ import annotations
+
+from repro.analysis.potential import FIG2_ENGINES, fig2_table
+from repro.analysis.speedup import geometric_mean
+from repro.analysis.tables import format_percent
+from repro.experiments.base import ExperimentResult, Preset, get_preset
+
+__all__ = ["run", "PAPER_AVERAGES"]
+
+#: Average relative term counts the paper reports in Section II-B.
+PAPER_AVERAGES: dict[str, float] = {
+    "ZN": 0.39,
+    "CVN": 0.63,
+    "Stripes": 0.53,
+    "PRA-fp16": 0.10,
+    "PRA-red": 0.08,
+}
+
+
+def run(preset: str | Preset = "fast", seed: int = 0) -> ExperimentResult:
+    """Reproduce Figure 2: relative number of terms vs the DaDN baseline."""
+    config = get_preset(preset)
+    entries = fig2_table(
+        networks=config.networks, samples_per_layer=config.samples_per_layer, seed=seed
+    )
+    headers = ["network", *FIG2_ENGINES]
+    rows: list[list[object]] = []
+    metadata: dict[str, float] = {}
+    for entry in entries:
+        rows.append(
+            [entry.network]
+            + [format_percent(entry.relative(engine)) for engine in FIG2_ENGINES]
+        )
+        for engine in FIG2_ENGINES:
+            metadata[f"{entry.network}:{engine}"] = entry.relative(engine)
+    averages = {
+        engine: geometric_mean(entry.relative(engine) for entry in entries)
+        for engine in FIG2_ENGINES
+    }
+    rows.append(["geomean", *[format_percent(averages[engine]) for engine in FIG2_ENGINES]])
+    for engine, value in averages.items():
+        metadata[f"geomean:{engine}"] = value
+    notes = "Paper averages (Section II-B): " + ", ".join(
+        f"{engine} {format_percent(value)}" for engine, value in PAPER_AVERAGES.items()
+    )
+    return ExperimentResult(
+        experiment="fig2",
+        title="Figure 2: relative term counts, 16-bit fixed-point representation (lower is better)",
+        headers=headers,
+        rows=rows,
+        notes=notes,
+        metadata=metadata,
+    )

@@ -1,0 +1,50 @@
+"""Figure 3 — convolutional layer computational demands, 8-bit quantized."""
+
+from __future__ import annotations
+
+from repro.analysis.potential import FIG3_ENGINES, fig3_table
+from repro.analysis.speedup import geometric_mean
+from repro.analysis.tables import format_percent
+from repro.experiments.base import ExperimentResult, Preset, get_preset
+
+__all__ = ["run", "PAPER_AVERAGES"]
+
+#: Average relative term counts the paper reports for the quantized study:
+#: skipping zero neurons removes ~30% of terms, Pragmatic up to ~71%.
+PAPER_AVERAGES: dict[str, float] = {"ZN": 0.70, "PRA": 0.29}
+
+
+def run(preset: str | Preset = "fast", seed: int = 0) -> ExperimentResult:
+    """Reproduce Figure 3: relative term counts with the 8-bit quantized baseline."""
+    config = get_preset(preset)
+    entries = fig3_table(
+        networks=config.networks, samples_per_layer=config.samples_per_layer, seed=seed
+    )
+    headers = ["network", *FIG3_ENGINES]
+    rows: list[list[object]] = []
+    metadata: dict[str, float] = {}
+    for entry in entries:
+        rows.append(
+            [entry.network]
+            + [format_percent(entry.relative(engine)) for engine in FIG3_ENGINES]
+        )
+        for engine in FIG3_ENGINES:
+            metadata[f"{entry.network}:{engine}"] = entry.relative(engine)
+    averages = {
+        engine: geometric_mean(entry.relative(engine) for entry in entries)
+        for engine in FIG3_ENGINES
+    }
+    rows.append(["geomean", *[format_percent(averages[engine]) for engine in FIG3_ENGINES]])
+    for engine, value in averages.items():
+        metadata[f"geomean:{engine}"] = value
+    notes = "Paper averages (Section II-B): " + ", ".join(
+        f"{engine} {format_percent(value)}" for engine, value in PAPER_AVERAGES.items()
+    )
+    return ExperimentResult(
+        experiment="fig3",
+        title="Figure 3: relative term counts, 8-bit quantized representation (lower is better)",
+        headers=headers,
+        rows=rows,
+        notes=notes,
+        metadata=metadata,
+    )

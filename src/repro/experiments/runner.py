@@ -1,0 +1,93 @@
+"""Experiment registry and command-line entry point.
+
+Run a single experiment::
+
+    python -m repro.experiments.runner --experiment fig9 --preset fast
+
+or regenerate every table and figure::
+
+    python -m repro.experiments.runner --all --preset full
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable
+
+from repro.experiments import (
+    ablation,
+    extension_csd,
+    fig2,
+    fig3,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.experiments.base import ExperimentResult, PRESETS, Preset
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all", "main"]
+
+#: Registry of experiment id → run function, in the paper's presentation order.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.run,
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "table2": table2.run,
+    "fig9": fig9.run,
+    "table3": table3.run,
+    "fig10": fig10.run,
+    "table4": table4.run,
+    "fig11": fig11.run,
+    "table5": table5.run,
+    "fig12": fig12.run,
+    "ablation": ablation.run,
+    "extension_csd": extension_csd.run,
+}
+
+
+def run_experiment(
+    name: str, preset: str | Preset = "fast", seed: int = 0
+) -> ExperimentResult:
+    """Run one experiment by id."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}")
+    return EXPERIMENTS[name](preset=preset, seed=seed)
+
+
+def run_all(preset: str | Preset = "fast", seed: int = 0) -> dict[str, ExperimentResult]:
+    """Run every experiment in presentation order."""
+    return {name: run(preset=preset, seed=seed) for name, run in EXPERIMENTS.items()}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate the tables and figures of the Bit-Pragmatic paper.",
+    )
+    parser.add_argument("--experiment", choices=sorted(EXPERIMENTS), help="experiment id")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="fast")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if not args.all and not args.experiment:
+        parser.error("specify --experiment NAME or --all")
+
+    if args.all:
+        for name, result in run_all(preset=args.preset, seed=args.seed).items():
+            print(result.to_text())
+            print()
+    else:
+        print(run_experiment(args.experiment, preset=args.preset, seed=args.seed).to_text())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

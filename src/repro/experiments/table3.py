@@ -1,0 +1,75 @@
+"""Table III — area and power, unit and chip, pallet-synchronized designs."""
+
+from __future__ import annotations
+
+from repro.core.variants import pallet_variant
+from repro.energy.area import design_area
+from repro.energy.power import design_power
+from repro.experiments.base import ExperimentResult, Preset, get_preset
+
+__all__ = ["run", "PAPER_TABLE3"]
+
+#: The paper's Table III: (unit area mm², chip area mm², chip power W).
+PAPER_TABLE3: dict[str, tuple[float, float, float]] = {
+    "DaDN": (1.55, 90.0, 18.8),
+    "Stripes": (3.05, 114.0, 30.2),
+    "PRA-0b": (3.11, 115.0, 31.4),
+    "PRA-1b": (3.16, 116.0, 34.5),
+    "PRA-2b": (3.54, 122.0, 38.2),
+    "PRA-3b": (4.41, 136.0, 43.8),
+    "PRA-4b": (5.75, 157.0, 51.6),
+}
+
+
+def run(preset: str | Preset = "fast", seed: int = 0) -> ExperimentResult:
+    """Reproduce Table III from the calibrated component model."""
+    get_preset(preset)  # presets do not change this experiment; validates the name
+    designs: list[tuple[str, object]] = [("DaDN", "dadn"), ("Stripes", "stripes")]
+    designs.extend((f"PRA-{bits}b", pallet_variant(bits)) for bits in range(5))
+
+    headers = [
+        "design",
+        "unit mm2",
+        "unit mm2 (paper)",
+        "chip mm2",
+        "chip mm2 (paper)",
+        "chip W",
+        "chip W (paper)",
+        "dArea",
+        "dPower",
+    ]
+    rows: list[list[object]] = []
+    metadata: dict[str, float] = {}
+    for label, design in designs:
+        area = design_area(design)
+        power = design_power(design)
+        paper_unit, paper_chip, paper_power = PAPER_TABLE3[label]
+        rows.append(
+            [
+                label,
+                f"{area.unit_mm2:.2f}",
+                f"{paper_unit:.2f}",
+                f"{area.chip_mm2:.0f}",
+                f"{paper_chip:.0f}",
+                f"{power.chip_w:.1f}",
+                f"{paper_power:.1f}",
+                f"{area.chip_ratio:.2f}x",
+                f"{power.chip_ratio:.2f}x",
+            ]
+        )
+        metadata[f"{label}:unit_mm2"] = area.unit_mm2
+        metadata[f"{label}:chip_mm2"] = area.chip_mm2
+        metadata[f"{label}:chip_w"] = power.chip_w
+    notes = (
+        "Component coefficients are calibrated once against the published synthesis\n"
+        "totals (DESIGN.md §4); composed values are expected to track the paper within\n"
+        "a few percent and preserve all relative relationships."
+    )
+    return ExperimentResult(
+        experiment="table3",
+        title="Table III: area [mm2] and power [W], pallet synchronization",
+        headers=headers,
+        rows=rows,
+        notes=notes,
+        metadata=metadata,
+    )

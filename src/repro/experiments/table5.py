@@ -1,0 +1,76 @@
+"""Table V — performance benefit of the software-provided per-layer precisions."""
+
+from __future__ import annotations
+
+from repro.analysis.speedup import geometric_mean
+from repro.analysis.tables import format_percent, format_ratio
+from repro.core.variants import column_variant
+from repro.core.sweep import sweep_network
+from repro.experiments.base import ExperimentResult, Preset, get_preset
+from repro.nn.calibration import calibrated_trace
+from repro.nn.networks import get_network
+
+__all__ = ["run", "PAPER_BENEFITS"]
+
+#: Table V of the paper: speedup fraction attributable to software guidance.
+PAPER_BENEFITS: dict[str, float] = {
+    "alexnet": 0.23,
+    "nin": 0.10,
+    "googlenet": 0.18,
+    "vgg_m": 0.22,
+    "vgg_s": 0.21,
+    "vgg19": 0.19,
+}
+
+
+def run(preset: str | Preset = "fast", seed: int = 0) -> ExperimentResult:
+    """Reproduce Table V: PRA-2b-1R with and without software guidance."""
+    config = get_preset(preset)
+    variants = {
+        "with-software": column_variant(1, software_trimming=True),
+        "without-software": column_variant(1, software_trimming=False),
+    }
+    headers = [
+        "network",
+        "speedup (software)",
+        "speedup (no software)",
+        "benefit",
+        "benefit (paper)",
+    ]
+    rows: list[list[object]] = []
+    metadata: dict[str, float] = {}
+    benefits: list[float] = []
+    for name in config.networks:
+        network = get_network(name)
+        trace = calibrated_trace(network, seed=seed)
+        results = sweep_network(trace, variants, sampling=config.sampling())
+        guided = results["with-software"].speedup
+        unguided = results["without-software"].speedup
+        benefit = guided / unguided - 1.0
+        benefits.append(benefit)
+        metadata[f"{network.name}:benefit"] = benefit
+        rows.append(
+            [
+                network.name,
+                format_ratio(guided),
+                format_ratio(unguided),
+                format_percent(benefit, digits=0),
+                format_percent(PAPER_BENEFITS.get(network.name, float("nan")), digits=0),
+            ]
+        )
+    average = sum(benefits) / len(benefits)
+    rows.append(["average", "-", "-", format_percent(average, digits=0), "19%"])
+    metadata["average:benefit"] = average
+    metadata["geomean:benefit"] = geometric_mean(1.0 + b for b in benefits) - 1.0
+    notes = (
+        "The benefit is the extra speedup PRA-2b-1R gains when software communicates the\n"
+        "per-layer precisions of Table II (Section V-F); the paper reports 19% on average."
+    )
+    return ExperimentResult(
+        experiment="table5",
+        title="Table V: performance benefit due to software guidance (PRA-2b-1R)",
+        headers=headers,
+        rows=rows,
+        notes=notes,
+        metadata=metadata,
+    )

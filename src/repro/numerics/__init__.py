@@ -1,0 +1,69 @@
+"""Number representations and bit-level encodings used throughout the reproduction.
+
+Public surface:
+
+* :class:`FixedPointFormat` / :data:`FIXED16` — the 16-bit fixed point storage of
+  DaDianNao, Stripes and Pragmatic.
+* :class:`QuantizationParams` — TensorFlow-style 8-bit linear quantization.
+* oneffset (essential-bit) encoding helpers and :class:`OneffsetStream`.
+* 2-stage shifting decomposition and the per-cycle scheduling algorithm.
+"""
+
+from repro.numerics.csd import (
+    csd_position_matrix,
+    csd_term_counts,
+    csd_term_fraction,
+    decode_csd,
+    encode_csd,
+)
+from repro.numerics.encoding import (
+    ScheduleCycle,
+    schedule_cycle_count,
+    serial_term_schedule,
+    two_stage_decompose,
+)
+from repro.numerics.fixedpoint import (
+    FIXED8,
+    FIXED16,
+    FixedPointFormat,
+    bit_matrix,
+    leading_bit_position,
+    popcount,
+    trailing_bit_position,
+)
+from repro.numerics.oneffsets import (
+    OneffsetStream,
+    decode_oneffsets,
+    encode_array,
+    encode_oneffsets,
+    essential_bit_counts,
+    essential_bit_fraction,
+)
+from repro.numerics.quantized import QuantizationParams, quantize_layer
+
+__all__ = [
+    "FixedPointFormat",
+    "FIXED16",
+    "FIXED8",
+    "bit_matrix",
+    "popcount",
+    "leading_bit_position",
+    "trailing_bit_position",
+    "QuantizationParams",
+    "quantize_layer",
+    "OneffsetStream",
+    "encode_oneffsets",
+    "decode_oneffsets",
+    "encode_array",
+    "essential_bit_counts",
+    "essential_bit_fraction",
+    "ScheduleCycle",
+    "serial_term_schedule",
+    "schedule_cycle_count",
+    "two_stage_decompose",
+    "encode_csd",
+    "decode_csd",
+    "csd_term_counts",
+    "csd_term_fraction",
+    "csd_position_matrix",
+]

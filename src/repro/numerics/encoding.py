@@ -1,0 +1,131 @@
+"""Two-stage shift decomposition and serial term scheduling (Section V-D).
+
+A shift by ``K`` can be decomposed as two smaller shifts ``K = K' + C``.  The
+2-stage Pragmatic PIP exploits this by giving each synapse a narrow first-stage
+shifter (``L`` control bits, reach ``0 … 2**L - 1``) and placing one shared
+second-stage shifter after the adder tree.  Each cycle the control picks the
+minimum outstanding oneffset ``C`` across the column; a synapse whose current
+oneffset ``K`` satisfies ``K - C < 2**L`` is processed that cycle, otherwise it
+stalls.
+
+This module implements that control algorithm both for a single group of neurons
+(:func:`serial_term_schedule`, used by the functional PIP and by the Figure 7
+unit test) and exposes the pure decomposition helper
+(:func:`two_stage_decompose`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "two_stage_decompose",
+    "serial_term_schedule",
+    "ScheduleCycle",
+    "schedule_cycle_count",
+]
+
+
+def two_stage_decompose(offsets: list[int], first_stage_bits: int) -> tuple[int, list[int | None]]:
+    """Decompose a set of shift offsets into a common stage-2 shift and stage-1 shifts.
+
+    Returns ``(common, per_offset)`` where ``common`` is the minimum offset and
+    ``per_offset[i]`` is ``offsets[i] - common`` when it fits in the first stage
+    (``< 2**first_stage_bits``) and ``None`` when the offset must stall.
+    """
+    if not offsets:
+        raise ValueError("offsets must not be empty")
+    if first_stage_bits < 0:
+        raise ValueError("first_stage_bits must be non-negative")
+    reach = 1 << first_stage_bits
+    common = min(offsets)
+    per_offset: list[int | None] = []
+    for offset in offsets:
+        delta = offset - common
+        per_offset.append(delta if delta < reach else None)
+    return common, per_offset
+
+
+@dataclass(frozen=True)
+class ScheduleCycle:
+    """One cycle of the 2-stage shifting control.
+
+    Attributes
+    ----------
+    common_shift:
+        The second-stage shift applied to the adder tree output this cycle.
+    first_stage_shifts:
+        Per-lane first stage shift, or ``None`` for lanes that are idle or
+        stalled this cycle.
+    consumed:
+        Per-lane oneffset consumed this cycle (``None`` when none was consumed).
+    """
+
+    common_shift: int
+    first_stage_shifts: tuple[int | None, ...]
+    consumed: tuple[int | None, ...]
+
+
+def serial_term_schedule(
+    oneffset_lists: list[list[int]] | list[tuple[int, ...]],
+    first_stage_bits: int,
+) -> list[ScheduleCycle]:
+    """Schedule the oneffsets of a group of neurons onto a 2-stage shifting PIP.
+
+    Parameters
+    ----------
+    oneffset_lists:
+        One ascending list of oneffsets per neuron lane (empty list for a
+        zero-valued neuron).
+    first_stage_bits:
+        Width in bits of the first-stage (per-synapse) shifter control; the
+        paper's PRA-2b uses 2, the single-stage design uses 4 (full reach).
+
+    Returns
+    -------
+    list of :class:`ScheduleCycle`
+        The cycle-by-cycle schedule.  Its length is the number of cycles the
+        column needs to drain this group of neurons under per-column control.
+    """
+    if first_stage_bits < 0:
+        raise ValueError("first_stage_bits must be non-negative")
+    reach = 1 << first_stage_bits
+    pending = [list(lst) for lst in oneffset_lists]
+    for lane, lst in enumerate(pending):
+        if any(earlier > later for earlier, later in zip(lst, lst[1:])):
+            raise ValueError(f"oneffsets of lane {lane} must be ascending: {lst}")
+
+    schedule: list[ScheduleCycle] = []
+    while any(pending):
+        heads = [lst[0] for lst in pending if lst]
+        common = min(heads)
+        first_stage: list[int | None] = []
+        consumed: list[int | None] = []
+        for lst in pending:
+            if lst and (lst[0] - common) < reach:
+                delta = lst.pop(0) - common
+                first_stage.append(delta)
+                consumed.append(delta + common)
+            else:
+                first_stage.append(None)
+                consumed.append(None)
+        schedule.append(
+            ScheduleCycle(
+                common_shift=common,
+                first_stage_shifts=tuple(first_stage),
+                consumed=tuple(consumed),
+            )
+        )
+    return schedule
+
+
+def schedule_cycle_count(
+    oneffset_lists: list[list[int]] | list[tuple[int, ...]],
+    first_stage_bits: int,
+) -> int:
+    """Number of cycles to drain the group (minimum 1, matching the hardware).
+
+    Even when every neuron in the group is zero the PIP column spends one cycle
+    on the (null) pallet step, so the count is clamped to at least 1.
+    """
+    return max(1, len(serial_term_schedule(oneffset_lists, first_stage_bits)))

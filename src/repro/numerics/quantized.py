@@ -1,0 +1,98 @@
+"""TensorFlow-style 8-bit linear quantization (Section VI-F of the paper).
+
+The quantization scheme maps real values in an arbitrary per-layer interval
+``[min_val, max_val]`` linearly onto the 256 available 8-bit codes.  Unlike the
+reduced-precision approach of Stripes the interval does not have to be symmetric
+and its limits do not have to be powers of two.  The paper sets the limits to the
+minimum and maximum neuron value observed in each layer and uses
+round-to-nearest.
+
+Pragmatic operates on the quantized *codes*: the essential bit content of the
+8-bit codes determines how many oneffsets must be processed per neuron.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["QuantizationParams", "quantize_layer"]
+
+
+@dataclass(frozen=True)
+class QuantizationParams:
+    """Parameters of an asymmetric linear quantizer.
+
+    Attributes
+    ----------
+    min_val, max_val:
+        Real-valued limits of the quantization interval.
+    bits:
+        Code width; the paper uses 8 bits.
+    """
+
+    min_val: float
+    max_val: float
+    bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.bits < 2:
+            raise ValueError(f"bits must be at least 2, got {self.bits}")
+        if not np.isfinite(self.min_val) or not np.isfinite(self.max_val):
+            raise ValueError("quantization limits must be finite")
+        if self.max_val <= self.min_val:
+            raise ValueError(
+                f"max_val ({self.max_val}) must exceed min_val ({self.min_val})"
+            )
+
+    @property
+    def levels(self) -> int:
+        """Number of available codes."""
+        return 1 << self.bits
+
+    @property
+    def scale(self) -> float:
+        """Real-value step between adjacent codes."""
+        return (self.max_val - self.min_val) / (self.levels - 1)
+
+    @property
+    def zero_point(self) -> int:
+        """Code that represents the real value closest to zero."""
+        code = int(round(-self.min_val / self.scale))
+        return int(np.clip(code, 0, self.levels - 1))
+
+    @classmethod
+    def from_values(cls, values: np.ndarray, bits: int = 8) -> "QuantizationParams":
+        """Derive limits from observed ``values`` (the paper's recommended setting)."""
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.size == 0:
+            raise ValueError("cannot derive quantization limits from an empty array")
+        low = float(arr.min())
+        high = float(arr.max())
+        if high <= low:
+            # Degenerate layer (e.g. all zeros): widen the interval minimally so the
+            # quantizer stays well defined and maps everything to a single code.
+            high = low + 1.0
+        return cls(min_val=low, max_val=high, bits=bits)
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Map real ``values`` to integer codes in ``[0, 2**bits - 1]``."""
+        arr = np.asarray(values, dtype=np.float64)
+        codes = np.round((arr - self.min_val) / self.scale)
+        return np.clip(codes, 0, self.levels - 1).astype(np.int64)
+
+    def dequantize(self, codes: np.ndarray) -> np.ndarray:
+        """Map integer codes back to real values."""
+        arr = np.asarray(codes, dtype=np.float64)
+        return arr * self.scale + self.min_val
+
+
+def quantize_layer(values: np.ndarray, bits: int = 8) -> tuple[np.ndarray, QuantizationParams]:
+    """Quantize one layer's activations with per-layer min/max limits.
+
+    Returns the integer codes and the parameters used, mirroring how the paper
+    derives per-layer quantization for the Figure 3 / Figure 12 studies.
+    """
+    params = QuantizationParams.from_values(values, bits=bits)
+    return params.quantize(values), params

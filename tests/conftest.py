@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import ConvLayerSpec
+from repro.nn.networks import Network
+from repro.nn.precision import LayerPrecision
+from repro.nn.traces import LayerTraceParams, NetworkTrace
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_layer() -> ConvLayerSpec:
+    """A small convolutional layer usable by the functional models."""
+    return ConvLayerSpec(
+        name="tiny",
+        input_channels=24,
+        input_height=6,
+        input_width=6,
+        num_filters=4,
+        filter_height=3,
+        filter_width=3,
+        stride=1,
+        padding=1,
+    )
+
+
+@pytest.fixture
+def strided_layer() -> ConvLayerSpec:
+    """A small layer with stride 2 (exercises window/pallet arithmetic)."""
+    return ConvLayerSpec(
+        name="strided",
+        input_channels=16,
+        input_height=9,
+        input_width=9,
+        num_filters=3,
+        filter_height=3,
+        filter_width=3,
+        stride=2,
+        padding=0,
+    )
+
+
+@pytest.fixture
+def tiny_network(tiny_layer, strided_layer) -> Network:
+    """A two-layer network built from the tiny layers."""
+    return Network(name="tiny_net", display_name="Tiny", layers=(tiny_layer, strided_layer))
+
+
+@pytest.fixture
+def tiny_trace(tiny_network) -> NetworkTrace:
+    """A deterministic trace over the tiny network."""
+    precisions = (LayerPrecision(msb=9, lsb=2), LayerPrecision(msb=8, lsb=2))
+    params = (
+        LayerTraceParams(sigma=80.0, zero_fraction=0.5),
+        LayerTraceParams(sigma=60.0, zero_fraction=0.4),
+    )
+    return NetworkTrace(
+        network=tiny_network,
+        precisions=precisions,
+        params=params,
+        seed=7,
+        storage_bits=16,
+    )

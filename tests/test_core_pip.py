@@ -1,0 +1,111 @@
+"""Unit tests for the functional Pragmatic inner product unit and tile."""
+
+import numpy as np
+import pytest
+
+from repro.core.pip import PragmaticInnerProductUnit, PragmaticTileFunctional
+from repro.nn.reference import conv2d_reference
+from repro.nn.traces import generate_synapses
+
+
+class TestPragmaticInnerProductUnit:
+    def test_simple_inner_product(self):
+        pip = PragmaticInnerProductUnit(first_stage_bits=4)
+        synapses = np.array([2, 3])
+        neurons = np.array([1, 2])  # 1*2 + 2*3 = 8
+        partial, cycles = pip.compute(synapses, neurons)
+        assert partial == 8
+        assert cycles == 1
+
+    def test_matches_dot_product_for_random_bricks(self, rng):
+        for first_stage_bits in range(5):
+            pip = PragmaticInnerProductUnit(first_stage_bits=first_stage_bits)
+            for _ in range(10):
+                synapses = rng.integers(-256, 256, size=16)
+                neurons = rng.integers(0, 2**12, size=16)
+                neurons[rng.random(16) < 0.4] = 0
+                partial, cycles = pip.compute(synapses, neurons)
+                assert partial == int(np.dot(synapses, neurons))
+                assert cycles >= 1
+
+    def test_handles_negative_neurons_via_sign_input(self, rng):
+        pip = PragmaticInnerProductUnit(first_stage_bits=2)
+        synapses = rng.integers(-64, 64, size=16)
+        neurons = rng.integers(-2**10, 2**10, size=16)
+        partial, _ = pip.compute(synapses, neurons)
+        assert partial == int(np.dot(synapses, neurons))
+
+    def test_zero_neurons_cost_one_cycle(self):
+        pip = PragmaticInnerProductUnit(first_stage_bits=2)
+        partial, cycles = pip.compute(np.arange(16), np.zeros(16, dtype=int))
+        assert partial == 0
+        assert cycles == 1
+
+    def test_cycles_grow_with_narrower_first_stage(self, rng):
+        synapses = rng.integers(-8, 8, size=16)
+        neurons = rng.integers(0, 2**16, size=16)
+        cycles = []
+        for bits in (4, 2, 0):
+            _, c = PragmaticInnerProductUnit(first_stage_bits=bits).compute(synapses, neurons)
+            cycles.append(c)
+        assert cycles == sorted(cycles)
+
+    def test_worst_case_value_takes_sixteen_cycles(self):
+        pip = PragmaticInnerProductUnit(first_stage_bits=4)
+        neurons = np.zeros(16, dtype=int)
+        neurons[0] = 0xFFFF
+        _, cycles = pip.compute(np.ones(16, dtype=int), neurons)
+        assert cycles == 16
+
+    def test_mismatched_brick_sizes_rejected(self):
+        pip = PragmaticInnerProductUnit()
+        with pytest.raises(ValueError):
+            pip.compute(np.ones(16), np.ones(8))
+
+    def test_rejects_out_of_range_configuration(self):
+        with pytest.raises(ValueError):
+            PragmaticInnerProductUnit(first_stage_bits=9)
+        with pytest.raises(ValueError):
+            PragmaticInnerProductUnit(storage_bits=0)
+
+    def test_rejects_too_wide_neurons(self):
+        pip = PragmaticInnerProductUnit(storage_bits=8)
+        with pytest.raises(ValueError):
+            pip.compute(np.ones(4), np.array([256, 0, 0, 0]))
+
+
+class TestPragmaticTileFunctional:
+    @pytest.mark.parametrize("first_stage_bits", [0, 2, 4])
+    def test_matches_reference_convolution(self, tiny_layer, tiny_trace, rng, first_stage_bits):
+        neurons = tiny_trace.layer_input(0)
+        synapses = generate_synapses(tiny_layer, rng)
+        tile = PragmaticTileFunctional(first_stage_bits=first_stage_bits)
+        outputs, cycles = tile.compute_layer(tiny_layer, neurons, synapses)
+        np.testing.assert_array_equal(outputs, conv2d_reference(tiny_layer, neurons, synapses))
+        assert cycles >= tiny_layer.window_groups * tiny_layer.bricks_per_window
+
+    def test_matches_reference_with_stride(self, strided_layer, rng):
+        neurons = rng.integers(0, 512, size=(16, 9, 9))
+        neurons[rng.random(neurons.shape) < 0.5] = 0
+        synapses = generate_synapses(strided_layer, rng)
+        tile = PragmaticTileFunctional(first_stage_bits=2)
+        outputs, _ = tile.compute_layer(strided_layer, neurons, synapses)
+        np.testing.assert_array_equal(outputs, conv2d_reference(strided_layer, neurons, synapses))
+
+    def test_cycles_never_exceed_bit_serial_worst_case(self, tiny_layer, tiny_trace, rng):
+        neurons = tiny_trace.layer_input(0)
+        synapses = generate_synapses(tiny_layer, rng)
+        tile = PragmaticTileFunctional(first_stage_bits=4)
+        _, cycles = tile.compute_layer(tiny_layer, neurons, synapses)
+        worst = tiny_layer.window_groups * tiny_layer.bricks_per_window * 16
+        assert cycles <= worst
+
+    def test_sparser_inputs_run_faster(self, tiny_layer, rng):
+        synapses = generate_synapses(tiny_layer, rng)
+        dense = rng.integers(1, 2**12, size=(24, 6, 6))
+        sparse = dense.copy()
+        sparse[rng.random(sparse.shape) < 0.8] = 0
+        tile = PragmaticTileFunctional(first_stage_bits=4)
+        _, dense_cycles = tile.compute_layer(tiny_layer, dense, synapses)
+        _, sparse_cycles = tile.compute_layer(tiny_layer, sparse, synapses)
+        assert sparse_cycles < dense_cycles

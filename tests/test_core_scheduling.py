@@ -1,0 +1,158 @@
+"""Unit tests for the drain-cycle and synchronization scheduling models."""
+
+import numpy as np
+import pytest
+
+from repro.core.scheduling import (
+    column_drain_cycles,
+    column_sync_cycles,
+    essential_terms,
+    pallet_sync_cycles,
+    step_drain_cycles,
+)
+from repro.numerics.encoding import schedule_cycle_count
+from repro.numerics.fixedpoint import bit_matrix, popcount
+from repro.numerics.oneffsets import encode_oneffsets
+
+
+def random_step_values(rng, pallets=3, steps=4, windows=16, neurons=16, density=0.3, bits=12):
+    values = rng.integers(0, 2**bits, size=(pallets, steps, windows, neurons))
+    mask = rng.random(values.shape) < (1 - density)
+    values[mask] = 0
+    return values
+
+
+class TestColumnDrainCycles:
+    def test_single_column_known_values(self):
+        bits = bit_matrix(np.array([[0b1, 0b1010, 0b111]]), bits=8)
+        assert column_drain_cycles(bits, first_stage_bits=4) == 3
+
+    def test_zero_column_reports_zero(self):
+        bits = bit_matrix(np.zeros((1, 16), dtype=int), bits=16)
+        assert column_drain_cycles(bits, first_stage_bits=2) == 0
+
+    def test_full_reach_equals_max_popcount(self, rng):
+        values = rng.integers(0, 2**16, size=(40, 16))
+        bits = bit_matrix(values, bits=16)
+        expected = popcount(values, 16).max(axis=1)
+        np.testing.assert_array_equal(column_drain_cycles(bits, first_stage_bits=4), expected)
+
+    def test_matches_reference_scheduler_for_all_reaches(self, rng):
+        values = rng.integers(0, 2**10, size=(25, 8))
+        values[rng.random(values.shape) < 0.5] = 0
+        bits = bit_matrix(values, bits=16)
+        for reach_bits in range(5):
+            vectorized = column_drain_cycles(bits, first_stage_bits=reach_bits)
+            for column in range(values.shape[0]):
+                oneffsets = [list(encode_oneffsets(int(v))) for v in values[column]]
+                reference = schedule_cycle_count(oneffsets, reach_bits)
+                assert max(1, int(vectorized[column])) == reference
+
+    def test_narrower_reach_never_faster(self, rng):
+        values = rng.integers(0, 2**16, size=(30, 16))
+        bits = bit_matrix(values, bits=16)
+        previous = None
+        for reach_bits in (4, 3, 2, 1, 0):
+            cycles = column_drain_cycles(bits, first_stage_bits=reach_bits)
+            if previous is not None:
+                assert np.all(cycles >= previous)
+            previous = cycles
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            column_drain_cycles(np.zeros(4, dtype=bool), first_stage_bits=2)
+        with pytest.raises(ValueError):
+            column_drain_cycles(np.zeros((2, 2, 2), dtype=bool), first_stage_bits=-1)
+
+
+class TestStepDrainCycles:
+    def test_shape(self, rng):
+        values = random_step_values(rng)
+        drains = step_drain_cycles(values, first_stage_bits=2, storage_bits=16)
+        assert drains.shape == values.shape[:-1]
+
+    def test_bounded_by_storage_bits_and_popcount(self, rng):
+        values = random_step_values(rng, bits=16)
+        drains = step_drain_cycles(values, first_stage_bits=4, storage_bits=16)
+        assert drains.max() <= 16
+        assert np.all(drains >= popcount(values, 16).max(axis=-1))
+
+
+class TestPalletSync:
+    def test_all_zero_pallet_costs_min_step(self, rng):
+        values = np.zeros((2, 5, 16, 16), dtype=np.int64)
+        cycles = pallet_sync_cycles(values, 2, 16)
+        np.testing.assert_array_equal(cycles, 5)
+
+    def test_worst_case_is_sixteen_per_step(self):
+        values = np.full((1, 3, 16, 16), (1 << 16) - 1, dtype=np.int64)
+        cycles = pallet_sync_cycles(values, 4, 16)
+        np.testing.assert_array_equal(cycles, 3 * 16)
+
+    def test_min_step_cycles_floor(self, rng):
+        values = random_step_values(rng, density=0.05, bits=2)
+        relaxed = pallet_sync_cycles(values, 2, 16, min_step_cycles=1)
+        floored = pallet_sync_cycles(values, 2, 16, min_step_cycles=4)
+        assert np.all(floored >= relaxed)
+        assert np.all(floored >= 4 * values.shape[1])
+
+    def test_equals_sum_of_per_step_maxima(self, rng):
+        values = random_step_values(rng)
+        drains = step_drain_cycles(values, 3, 16)
+        expected = np.maximum(drains.max(axis=2), 1).sum(axis=1)
+        np.testing.assert_array_equal(pallet_sync_cycles(values, 3, 16), expected)
+
+    def test_rejects_bad_shapes_and_args(self, rng):
+        with pytest.raises(ValueError):
+            pallet_sync_cycles(np.zeros((2, 3, 4)), 2, 16)
+        with pytest.raises(ValueError):
+            pallet_sync_cycles(np.zeros((1, 1, 2, 2)), 2, 16, min_step_cycles=0)
+
+
+class TestColumnSync:
+    def test_ideal_equals_slowest_column_sum(self, rng):
+        values = random_step_values(rng)
+        drains = np.maximum(step_drain_cycles(values, 2, 16), 1)
+        ideal = column_sync_cycles(values, 2, 16, ssr_count=None)
+        lower_bound = drains.sum(axis=1).max(axis=1)
+        assert np.all(ideal >= lower_bound)
+        # The SB port adds at most one cycle of skew per step.
+        assert np.all(ideal <= lower_bound + values.shape[1])
+
+    def test_never_slower_than_pallet_sync_plus_load_skew(self, rng):
+        values = random_step_values(rng, pallets=4)
+        pallet = pallet_sync_cycles(values, 2, 16)
+        for ssr in (1, 4, 16, None):
+            column = column_sync_cycles(values, 2, 16, ssr_count=ssr)
+            assert np.all(column <= pallet + values.shape[1])
+
+    def test_more_registers_never_hurt(self, rng):
+        values = random_step_values(rng, pallets=4, steps=8)
+        previous = None
+        for ssr in (1, 2, 4, 8, None):
+            cycles = column_sync_cycles(values, 2, 16, ssr_count=ssr)
+            if previous is not None:
+                assert np.all(cycles <= previous + 1e-9)
+            previous = cycles
+
+    def test_single_register_behaves_like_near_pallet_sync(self):
+        # One column monopolises step 0; with a single SSR the other columns can
+        # run at most one synapse set ahead.
+        values = np.zeros((1, 3, 2, 16), dtype=np.int64)
+        values[0, 0, 0, :] = (1 << 16) - 1  # column 0 takes 16 cycles on step 0
+        one_reg = column_sync_cycles(values[:, :, :, :], 4, 16, ssr_count=1)
+        ideal = column_sync_cycles(values[:, :, :, :], 4, 16, ssr_count=None)
+        assert ideal <= one_reg
+
+    def test_rejects_bad_arguments(self, rng):
+        values = random_step_values(rng, pallets=1)
+        with pytest.raises(ValueError):
+            column_sync_cycles(values, 2, 16, ssr_count=0)
+        with pytest.raises(ValueError):
+            column_sync_cycles(values, 2, 16, sb_read_cycles=0)
+
+
+class TestEssentialTerms:
+    def test_counts_set_bits(self):
+        values = np.array([[[[3, 0], [1, 7]]]])
+        assert essential_terms(values, storage_bits=8) == 2 + 0 + 1 + 3

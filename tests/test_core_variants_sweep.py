@@ -1,0 +1,75 @@
+"""Unit tests for the named design variants and the design-space sweep helper."""
+
+import pytest
+
+from repro.arch.tiling import SamplingConfig
+from repro.core.accelerator import PragmaticAccelerator
+from repro.core.sweep import sweep_network
+from repro.core.variants import (
+    FIG9_FIRST_STAGE_BITS,
+    FIG10_SSR_COUNTS,
+    column_variant,
+    fig9_variants,
+    fig10_variants,
+    fig12_variants,
+    pallet_variant,
+    paper_variants,
+    single_stage_variant,
+)
+
+
+class TestVariants:
+    def test_pallet_variant_names(self):
+        assert pallet_variant(0).name == "PRA-0b"
+        assert pallet_variant(4).name == "PRA-4b"
+
+    def test_single_stage_variant_is_four_bit(self):
+        config = single_stage_variant()
+        assert config.first_stage_bits == 4
+        assert config.name == "PRA-single"
+
+    def test_column_variant_configuration(self):
+        config = column_variant(4)
+        assert config.synchronization == "column"
+        assert config.ssr_count == 4
+        assert column_variant(None).ssr_count is None
+
+    def test_fig9_variants_cover_all_shifter_widths(self):
+        variants = fig9_variants()
+        assert set(variants) == {f"{bits}-bit" for bits in FIG9_FIRST_STAGE_BITS}
+        assert all(v.synchronization == "pallet" for v in variants.values())
+
+    def test_fig10_variants_cover_ssr_counts(self):
+        variants = fig10_variants()
+        assert len(variants) == len(FIG10_SSR_COUNTS)
+        assert variants["perCol-ideal"].ssr_count is None
+
+    def test_fig12_variants_disable_software_trimming(self):
+        assert all(not v.software_trimming for v in fig12_variants().values())
+
+    def test_paper_variants_unique_names(self):
+        variants = paper_variants()
+        assert len(variants) == len(set(variants))
+        assert "PRA-2b" in variants and "PRA-2b-1R" in variants
+
+
+class TestSweep:
+    def test_sweep_matches_individual_simulation(self, tiny_trace):
+        sampling = SamplingConfig(exact=True)
+        configs = {"a": pallet_variant(2), "b": column_variant(1), "c": pallet_variant(0)}
+        swept = sweep_network(tiny_trace, configs, sampling=sampling)
+        for label, config in configs.items():
+            direct = PragmaticAccelerator(config).simulate_network(tiny_trace, sampling)
+            assert swept[label].cycles == pytest.approx(direct.cycles)
+            assert swept[label].speedup == pytest.approx(direct.speedup)
+
+    def test_sweep_rejects_empty_configs(self, tiny_trace):
+        with pytest.raises(ValueError):
+            sweep_network(tiny_trace, {})
+
+    def test_sweep_result_labels(self, tiny_trace):
+        swept = sweep_network(
+            tiny_trace, {"x": pallet_variant(3)}, sampling=SamplingConfig(max_pallets=1)
+        )
+        assert swept["x"].accelerator == "PRA-3b"
+        assert swept["x"].network == tiny_trace.network.name

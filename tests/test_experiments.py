@@ -1,0 +1,121 @@
+"""Tests for the experiment harness (registry, presets, light experiments)."""
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.base import PRESETS, ExperimentResult, Preset, get_preset
+from repro.experiments import table3, table4
+
+#: Tiny preset used to exercise the trace/cycle experiments quickly.
+TINY = Preset(name="tiny", networks=("alexnet",), samples_per_layer=1500, max_pallets=2)
+
+
+class TestPresets:
+    def test_known_presets_exist(self):
+        assert {"smoke", "fast", "full"} <= set(PRESETS)
+
+    def test_get_preset_by_name_and_object(self):
+        assert get_preset("fast").name == "fast"
+        assert get_preset(TINY) is TINY
+
+    def test_get_preset_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            get_preset("enormous")
+
+    def test_sampling_uses_preset_pallets(self):
+        assert get_preset("fast").sampling().max_pallets == PRESETS["fast"].max_pallets
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "fig2",
+            "fig3",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "ablation",
+            "extension_csd",
+        }
+        assert expected == set(runner.EXPERIMENTS)
+
+    def test_run_experiment_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            runner.run_experiment("fig99")
+
+    def test_cli_requires_an_action(self, capsys):
+        with pytest.raises(SystemExit):
+            runner.main([])
+
+    def test_cli_runs_single_experiment(self, capsys):
+        assert runner.main(["--experiment", "table3", "--preset", "smoke"]) == 0
+        output = capsys.readouterr().out
+        assert "Table III" in output
+        assert "PRA-2b" in output
+
+
+class TestEnergyTables:
+    def test_table3_rows_cover_all_designs(self):
+        result = table3.run(preset="smoke")
+        assert isinstance(result, ExperimentResult)
+        designs = [row[0] for row in result.rows]
+        assert designs == ["DaDN", "Stripes", "PRA-0b", "PRA-1b", "PRA-2b", "PRA-3b", "PRA-4b"]
+
+    def test_table3_tracks_paper_values(self):
+        result = table3.run(preset="smoke")
+        for label, (unit, _, power) in table3.PAPER_TABLE3.items():
+            assert result.metadata[f"{label}:unit_mm2"] == pytest.approx(unit, rel=0.05)
+            assert result.metadata[f"{label}:chip_w"] == pytest.approx(power, rel=0.05)
+
+    def test_table4_tracks_paper_values(self):
+        result = table4.run(preset="smoke")
+        for label, (unit, _, power) in table4.PAPER_TABLE4.items():
+            assert result.metadata[f"{label}:unit_mm2"] == pytest.approx(unit, rel=0.05)
+            assert result.metadata[f"{label}:chip_w"] == pytest.approx(power, rel=0.05)
+
+    def test_result_renders_to_text(self):
+        text = table4.run(preset="smoke").to_text()
+        assert "Table IV" in text
+        assert "PRA-2b-16R" in text
+
+
+class TestTraceExperiments:
+    def test_table1_measures_both_representations(self):
+        from repro.experiments import table1
+
+        result = table1.run(preset=TINY)
+        assert "fixed16:alexnet:nz" in result.metadata
+        assert "quant8:alexnet:nz" in result.metadata
+        assert 0.0 < result.metadata["fixed16:alexnet:nz"] < 0.5
+
+    def test_fig2_pragmatic_needs_fewest_terms(self):
+        from repro.experiments import fig2
+
+        result = fig2.run(preset=TINY)
+        assert (
+            result.metadata["geomean:PRA-red"]
+            <= result.metadata["geomean:PRA-fp16"]
+            < result.metadata["geomean:Stripes"]
+        )
+
+    def test_table2_reports_published_and_profiled(self):
+        from repro.experiments import table2
+
+        result = table2.run(preset=TINY)
+        assert result.rows[0][1].startswith("9-8-5-5-7")
+
+    def test_fig9_orders_engines_correctly(self):
+        from repro.experiments import fig9
+
+        result = fig9.run(preset=TINY)
+        stripes = result.metadata["geomean:Stripes"]
+        zero_bit = result.metadata["geomean:0-bit"]
+        four_bit = result.metadata["geomean:4-bit"]
+        assert 1.0 < stripes < zero_bit <= four_bit
+        assert result.metadata["geomean:2-bit"] == pytest.approx(four_bit, rel=0.05)

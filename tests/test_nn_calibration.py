@@ -1,0 +1,111 @@
+"""Unit tests for the Table I calibration of synthetic traces."""
+
+import numpy as np
+import pytest
+
+from repro.nn.calibration import (
+    TABLE1_TARGETS,
+    calibrate_network,
+    calibrated_trace,
+    storage_bits_for,
+)
+from repro.nn.networks import NETWORK_NAMES
+from repro.numerics.fixedpoint import popcount
+
+
+class TestTargets:
+    def test_targets_cover_all_networks_and_representations(self):
+        for representation in ("fixed16", "quant8"):
+            for statistic in ("all", "nz"):
+                assert set(TABLE1_TARGETS[representation][statistic]) == set(NETWORK_NAMES)
+
+    def test_nz_always_exceeds_all(self):
+        for representation in ("fixed16", "quant8"):
+            for name in NETWORK_NAMES:
+                assert (
+                    TABLE1_TARGETS[representation]["nz"][name]
+                    > TABLE1_TARGETS[representation]["all"][name]
+                )
+
+    def test_storage_bits_for(self):
+        assert storage_bits_for("fixed16") == 16
+        assert storage_bits_for("quant8") == 8
+        with pytest.raises(ValueError):
+            storage_bits_for("int4")
+
+
+class TestCalibration:
+    def test_calibration_hits_target_within_tolerance(self):
+        calibration = calibrate_network("alexnet")
+        assert calibration.achieved_nz_fraction == pytest.approx(
+            calibration.target_nz_fraction, rel=0.05
+        )
+
+    def test_zero_fraction_consistent_with_table1(self):
+        calibration = calibrate_network("vgg_m")
+        targets = TABLE1_TARGETS["fixed16"]
+        expected = 1.0 - targets["all"]["vgg_m"] / targets["nz"]["vgg_m"]
+        assert calibration.zero_fraction == pytest.approx(expected, abs=1e-9)
+
+    def test_calibration_is_cached_and_deterministic(self):
+        first = calibrate_network("nin")
+        second = calibrate_network("nin")
+        assert first is second
+
+    def test_quant8_calibration_targets_quant_table(self):
+        calibration = calibrate_network("alexnet", representation="quant8")
+        assert calibration.representation == "quant8"
+        assert calibration.target_nz_fraction == TABLE1_TARGETS["quant8"]["nz"]["alexnet"]
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(KeyError):
+            calibrate_network("lenet")
+
+
+class TestCalibratedTrace:
+    def test_trace_covers_all_layers(self):
+        trace = calibrated_trace("alexnet")
+        assert trace.network.num_layers == len(trace.params) == len(trace.precisions)
+        assert trace.storage_bits == 16
+
+    def test_quant8_trace_uses_eight_bits(self):
+        trace = calibrated_trace("alexnet", representation="quant8")
+        assert trace.storage_bits == 8
+        values = trace.sample_layer_values(1, 2000)
+        assert values.max() <= 255
+
+    def test_first_layer_is_dense_by_default(self):
+        trace = calibrated_trace("alexnet")
+        first = trace.sample_layer_values(0, 4000)
+        later = trace.sample_layer_values(2, 4000)
+        assert np.count_nonzero(first == 0) / first.size < 0.05
+        assert np.count_nonzero(later == 0) / later.size > 0.3
+
+    def test_sparse_first_layer_option(self):
+        trace = calibrated_trace("alexnet", dense_first_layer=False)
+        first = trace.sample_layer_values(0, 4000)
+        assert np.count_nonzero(first == 0) / first.size > 0.3
+
+    def test_nonzero_bit_content_tracks_target(self):
+        trace = calibrated_trace("vgg19")
+        target = TABLE1_TARGETS["fixed16"]["nz"]["vgg19"]
+        fractions = []
+        for index in range(1, trace.network.num_layers):
+            values = trace.sample_layer_values(index, 4000)
+            nonzero = values[values != 0]
+            fractions.append(popcount(nonzero, 16).mean() / 16)
+        measured = float(np.mean(fractions))
+        assert measured == pytest.approx(target, rel=0.25)
+
+    def test_explicit_precisions_change_trace_windows(self):
+        trace = calibrated_trace("alexnet", precisions=(4, 4, 4, 4, 4))
+        assert all(p.width == 4 for p in trace.precisions)
+
+    def test_explicit_precisions_rejected_for_quant8(self):
+        with pytest.raises(ValueError):
+            calibrated_trace("alexnet", representation="quant8", precisions=(4,) * 5)
+
+    def test_seed_changes_values_not_calibration(self):
+        a = calibrated_trace("alexnet", seed=0).sample_layer_values(1, 200)
+        b = calibrated_trace("alexnet", seed=1).sample_layer_values(1, 200)
+        assert not np.array_equal(a, b)

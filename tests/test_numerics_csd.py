@@ -1,0 +1,89 @@
+"""Unit and property tests for the canonical signed digit (CSD) encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.numerics.csd import (
+    csd_position_matrix,
+    csd_term_counts,
+    csd_term_fraction,
+    decode_csd,
+    encode_csd,
+)
+from repro.numerics.fixedpoint import popcount
+
+
+class TestEncodeDecode:
+    def test_known_encodings(self):
+        assert encode_csd(0) == ()
+        assert encode_csd(1) == ((1, 0),)
+        assert encode_csd(3) == ((-1, 0), (1, 2))
+        assert encode_csd(126) == ((-1, 1), (1, 7))
+
+    def test_negative_values_use_magnitude(self):
+        assert encode_csd(-126) == encode_csd(126)
+
+    def test_decode_inverts_encode(self):
+        for value in (0, 1, 2, 3, 7, 126, 255, 43690, 65535):
+            assert decode_csd(encode_csd(value)) == value
+
+    def test_non_adjacent_property(self):
+        for value in range(0, 4096, 37):
+            positions = sorted(position for _, position in encode_csd(value))
+            assert all(b - a >= 2 for a, b in zip(positions, positions[1:]))
+
+    def test_decode_rejects_bad_terms(self):
+        with pytest.raises(ValueError):
+            decode_csd([(2, 0)])
+        with pytest.raises(ValueError):
+            decode_csd([(1, 0), (1, 0)])
+        with pytest.raises(ValueError):
+            decode_csd([(1, -1)])
+
+    def test_encode_rejects_too_wide_values(self):
+        with pytest.raises(ValueError):
+            encode_csd(1 << 17, bits=16)
+
+
+class TestTermCounts:
+    def test_counts_match_encoder(self, rng):
+        values = rng.integers(0, 2**16, size=300)
+        counts = csd_term_counts(values, bits=16)
+        expected = [len(encode_csd(int(v))) for v in values]
+        np.testing.assert_array_equal(counts, expected)
+
+    def test_csd_never_needs_more_terms_than_positional(self, rng):
+        values = rng.integers(0, 2**16, size=500)
+        assert np.all(csd_term_counts(values, 16) <= popcount(values, 16))
+
+    def test_dense_values_halve_their_terms(self):
+        # 0b111...1 needs n positional terms but only two CSD terms.
+        assert csd_term_counts(np.array([0xFF]), 8)[0] == 2
+
+    def test_term_fraction(self):
+        assert csd_term_fraction(np.array([0xFF, 0]), bits=8) == pytest.approx(2 / 16)
+        with pytest.raises(ValueError):
+            csd_term_fraction(np.array([]))
+
+    def test_position_matrix_matches_encoder(self, rng):
+        values = rng.integers(0, 2**12, size=50)
+        planes = csd_position_matrix(values, bits=16)
+        assert planes.shape == (50, 17)
+        for row, value in zip(planes, values):
+            positions = {position for _, position in encode_csd(int(value))}
+            assert set(np.nonzero(row)[0]) == positions
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_roundtrip(self, value):
+        assert decode_csd(encode_csd(value)) == value
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_minimality_upper_bound(self, value):
+        # NAF uses at most ceil(bits/2) + 1 terms and never more than popcount.
+        terms = len(encode_csd(value))
+        assert terms <= bin(value).count("1")
+        assert terms <= 9

@@ -1,0 +1,98 @@
+"""Unit tests for the 2-stage shifting decomposition and serial term scheduling."""
+
+import pytest
+
+from repro.numerics.encoding import (
+    schedule_cycle_count,
+    serial_term_schedule,
+    two_stage_decompose,
+)
+from repro.numerics.oneffsets import encode_oneffsets
+
+
+class TestTwoStageDecompose:
+    def test_common_is_minimum(self):
+        common, per_offset = two_stage_decompose([3, 5, 4], first_stage_bits=2)
+        assert common == 3
+        assert per_offset == [0, 2, 1]
+
+    def test_offsets_beyond_reach_stall(self):
+        common, per_offset = two_stage_decompose([0, 4], first_stage_bits=2)
+        assert common == 0
+        assert per_offset == [0, None]
+
+    def test_zero_first_stage_bits_only_processes_minimum(self):
+        common, per_offset = two_stage_decompose([1, 2], first_stage_bits=0)
+        assert common == 1
+        assert per_offset == [0, None]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            two_stage_decompose([], first_stage_bits=2)
+
+    def test_rejects_negative_bits(self):
+        with pytest.raises(ValueError):
+            two_stage_decompose([1], first_stage_bits=-1)
+
+
+class TestSerialTermSchedule:
+    def test_figure7_style_example_takes_four_cycles(self):
+        # Figure 7b of the paper: with L = 2 the control picks the minimum
+        # outstanding oneffset each cycle ((1,0,4) then (6,7,4) …) and the group
+        # drains in four cycles because the third neuron's high oneffsets trail.
+        oneffsets = [[1, 6, 7], [0, 7], [4, 8, 10]]
+        schedule = serial_term_schedule(oneffsets, first_stage_bits=2)
+        assert len(schedule) == 4
+
+    def test_first_cycle_of_figure7_processes_low_offsets(self):
+        oneffsets = [[1, 6, 7], [0, 7], [4, 8, 10]]
+        schedule = serial_term_schedule(oneffsets, first_stage_bits=2)
+        first = schedule[0]
+        assert first.common_shift == 0
+        assert first.consumed[0] == 1
+        assert first.consumed[1] == 0
+        assert first.consumed[2] is None  # 4 - 0 exceeds the 2-bit reach and stalls
+
+    def test_second_cycle_of_figure7_uses_minimum_four(self):
+        oneffsets = [[1, 6, 7], [0, 7], [4, 8, 10]]
+        schedule = serial_term_schedule(oneffsets, first_stage_bits=2)
+        second = schedule[1]
+        assert second.common_shift == 4
+        assert second.consumed == (6, 7, 4)
+
+    def test_schedule_consumes_every_oneffset_exactly_once(self):
+        oneffsets = [list(encode_oneffsets(v)) for v in (13, 255, 0, 6)]
+        schedule = serial_term_schedule([list(lst) for lst in oneffsets], first_stage_bits=1)
+        consumed = [[] for _ in oneffsets]
+        for cycle in schedule:
+            for lane, offset in enumerate(cycle.consumed):
+                if offset is not None:
+                    consumed[lane].append(offset)
+        assert [tuple(lst) for lst in consumed] == [tuple(lst) for lst in oneffsets]
+
+    def test_full_reach_takes_max_popcount_cycles(self):
+        oneffsets = [[0, 3, 7, 11], [2], []]
+        assert len(serial_term_schedule(oneffsets, first_stage_bits=4)) == 4
+
+    def test_narrower_first_stage_never_reduces_cycles(self):
+        oneffsets = [[0, 5, 9], [1, 2], [7, 15]]
+        cycles = [len(serial_term_schedule(oneffsets, first_stage_bits=L)) for L in range(5)]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_first_stage_shift_always_within_reach(self):
+        oneffsets = [[0, 1, 9, 14], [3, 4], [2, 13]]
+        for L in range(5):
+            for cycle in serial_term_schedule(oneffsets, first_stage_bits=L):
+                for shift in cycle.first_stage_shifts:
+                    if shift is not None:
+                        assert 0 <= shift < (1 << L)
+
+    def test_all_empty_lanes_take_zero_cycles(self):
+        assert serial_term_schedule([[], []], first_stage_bits=2) == []
+
+    def test_cycle_count_clamps_to_one(self):
+        assert schedule_cycle_count([[], []], first_stage_bits=2) == 1
+
+    def test_rejects_descending_oneffsets(self):
+        with pytest.raises(ValueError):
+            serial_term_schedule([[3, 1]], first_stage_bits=2)

@@ -1,0 +1,102 @@
+"""Unit tests for the oneffset (essential bit) encoding."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.oneffsets import (
+    OneffsetStream,
+    decode_oneffsets,
+    encode_array,
+    encode_oneffsets,
+    essential_bit_counts,
+    essential_bit_fraction,
+)
+
+
+class TestEncodeDecode:
+    def test_paper_example_value_101b(self):
+        # The paper represents n = 101(2) as oneffsets (2, 0).
+        assert encode_oneffsets(0b101, ascending=False) == (2, 0)
+        assert encode_oneffsets(0b101, ascending=True) == (0, 2)
+
+    def test_zero_has_no_oneffsets(self):
+        assert encode_oneffsets(0) == ()
+
+    def test_all_ones(self):
+        assert encode_oneffsets(0b111, ascending=True) == (0, 1, 2)
+
+    def test_negative_value_uses_magnitude(self):
+        assert encode_oneffsets(-6) == encode_oneffsets(6)
+
+    def test_decode_inverts_encode(self):
+        for value in [0, 1, 2, 5, 0b101101, 65535]:
+            assert decode_oneffsets(encode_oneffsets(value)) == value
+
+    def test_decode_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            decode_oneffsets([1, 1])
+
+    def test_decode_rejects_negative_positions(self):
+        with pytest.raises(ValueError):
+            decode_oneffsets([-1])
+
+    def test_encode_array_flattens(self):
+        encoded = encode_array(np.array([[1, 2], [3, 0]]), bits=8)
+        assert encoded == [(0,), (1,), (0, 1), ()]
+
+    def test_encode_array_rejects_wide_values(self):
+        with pytest.raises(ValueError):
+            encode_array(np.array([300]), bits=8)
+
+
+class TestEssentialBitStatistics:
+    def test_counts_match_popcount_semantics(self):
+        np.testing.assert_array_equal(
+            essential_bit_counts(np.array([0, 1, 3, 7, 255]), bits=8), [0, 1, 2, 3, 8]
+        )
+
+    def test_fraction_all_neurons(self):
+        values = np.array([0, 0, 0b1111, 0b1111])
+        assert essential_bit_fraction(values, bits=8) == pytest.approx(0.25)
+
+    def test_fraction_nonzero_only(self):
+        values = np.array([0, 0, 0b1111, 0b1111])
+        assert essential_bit_fraction(values, bits=8, nonzero_only=True) == pytest.approx(0.5)
+
+    def test_fraction_all_zero_stream(self):
+        assert essential_bit_fraction(np.zeros(4, dtype=int), nonzero_only=True) == 0.0
+
+    def test_fraction_rejects_empty(self):
+        with pytest.raises(ValueError):
+            essential_bit_fraction(np.array([]))
+
+
+class TestOneffsetStream:
+    def test_stream_for_paper_example(self):
+        stream = OneffsetStream.from_value(0b101, bits=16)
+        assert stream.entries == ((0, False), (2, True))
+        assert stream.cycles == 2
+
+    def test_zero_value_is_single_null_entry(self):
+        stream = OneffsetStream.from_value(0, bits=16)
+        assert len(stream) == 1
+        assert stream.entries[0][1] is True
+        assert stream.cycles == 1
+
+    def test_worst_case_sixteen_oneffsets(self):
+        stream = OneffsetStream.from_value(0xFFFF, bits=16)
+        assert len(stream) == 16
+        assert stream.cycles == 16
+
+    def test_value_reconstruction(self):
+        for value in [1, 2, 5, 1234, 65535]:
+            assert OneffsetStream.from_value(value, bits=16).value == value
+
+    def test_rejects_values_wider_than_storage(self):
+        with pytest.raises(ValueError):
+            OneffsetStream.from_value(256, bits=8)
+
+    def test_end_of_neuron_marker_only_on_last_entry(self):
+        stream = OneffsetStream.from_value(0b1011, bits=16)
+        markers = [eon for _, eon in stream]
+        assert markers == [False, False, True]

@@ -1,0 +1,81 @@
+"""Unit tests for repro.numerics.quantized (TensorFlow-style 8-bit quantization)."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.quantized import QuantizationParams, quantize_layer
+
+
+class TestQuantizationParams:
+    def test_levels_and_scale(self):
+        params = QuantizationParams(min_val=0.0, max_val=255.0, bits=8)
+        assert params.levels == 256
+        assert params.scale == pytest.approx(1.0)
+
+    def test_asymmetric_range_allowed(self):
+        params = QuantizationParams(min_val=-3.0, max_val=13.0)
+        assert params.scale == pytest.approx(16.0 / 255.0)
+
+    def test_zero_point_maps_near_zero(self):
+        params = QuantizationParams(min_val=-1.0, max_val=3.0)
+        zero_code = params.zero_point
+        assert abs(params.dequantize(np.array([zero_code]))[0]) <= params.scale
+
+    def test_zero_point_clipped_to_code_range(self):
+        params = QuantizationParams(min_val=1.0, max_val=2.0)
+        assert 0 <= params.zero_point <= 255
+
+    def test_quantize_endpoints(self):
+        params = QuantizationParams(min_val=-2.0, max_val=2.0)
+        codes = params.quantize(np.array([-2.0, 2.0]))
+        np.testing.assert_array_equal(codes, [0, 255])
+
+    def test_quantize_clips_outside_range(self):
+        params = QuantizationParams(min_val=0.0, max_val=1.0)
+        codes = params.quantize(np.array([-5.0, 5.0]))
+        np.testing.assert_array_equal(codes, [0, 255])
+
+    def test_roundtrip_error_bounded_by_half_step(self, rng):
+        params = QuantizationParams(min_val=-4.0, max_val=10.0)
+        values = rng.uniform(-4.0, 10.0, size=500)
+        recovered = params.dequantize(params.quantize(values))
+        assert np.max(np.abs(recovered - values)) <= params.scale / 2 + 1e-9
+
+    def test_from_values_uses_observed_extrema(self):
+        values = np.array([-1.5, 0.0, 4.0])
+        params = QuantizationParams.from_values(values)
+        assert params.min_val == -1.5
+        assert params.max_val == 4.0
+
+    def test_from_values_handles_constant_input(self):
+        params = QuantizationParams.from_values(np.zeros(10))
+        assert params.max_val > params.min_val
+
+    def test_from_values_rejects_empty(self):
+        with pytest.raises(ValueError):
+            QuantizationParams.from_values(np.array([]))
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ValueError):
+            QuantizationParams(min_val=1.0, max_val=1.0)
+        with pytest.raises(ValueError):
+            QuantizationParams(min_val=0.0, max_val=float("inf"))
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            QuantizationParams(min_val=0.0, max_val=1.0, bits=1)
+
+
+class TestQuantizeLayer:
+    def test_quantize_layer_returns_codes_and_params(self, rng):
+        values = rng.uniform(0, 7.0, size=100)
+        codes, params = quantize_layer(values)
+        assert codes.shape == values.shape
+        assert codes.min() >= 0 and codes.max() <= 255
+        assert params.max_val == pytest.approx(values.max())
+
+    def test_zero_values_map_to_zero_code_for_relu_layers(self, rng):
+        values = np.concatenate([np.zeros(10), rng.uniform(0, 5, 90)])
+        codes, params = quantize_layer(values)
+        assert params.min_val == 0.0
+        np.testing.assert_array_equal(codes[:10], 0)

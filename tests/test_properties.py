@@ -1,0 +1,135 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pip import PragmaticInnerProductUnit
+from repro.core.scheduling import column_drain_cycles, column_sync_cycles, pallet_sync_cycles
+from repro.nn.precision import LayerPrecision
+from repro.numerics.encoding import schedule_cycle_count, serial_term_schedule, two_stage_decompose
+from repro.numerics.fixedpoint import FixedPointFormat, bit_matrix, popcount
+from repro.numerics.oneffsets import OneffsetStream, decode_oneffsets, encode_oneffsets
+from repro.numerics.quantized import QuantizationParams
+
+settings.register_profile("repro", max_examples=60, deadline=None)
+settings.load_profile("repro")
+
+uint16 = st.integers(min_value=0, max_value=2**16 - 1)
+first_stage = st.integers(min_value=0, max_value=4)
+
+
+class TestOneffsetProperties:
+    @given(uint16)
+    def test_encode_decode_roundtrip(self, value):
+        assert decode_oneffsets(encode_oneffsets(value)) == value
+
+    @given(uint16)
+    def test_oneffset_count_equals_popcount(self, value):
+        assert len(encode_oneffsets(value)) == bin(value).count("1")
+
+    @given(uint16)
+    def test_stream_cycles_are_max_of_popcount_and_one(self, value):
+        stream = OneffsetStream.from_value(value, bits=16)
+        assert stream.cycles == max(1, bin(value).count("1"))
+
+    @given(st.lists(uint16, min_size=1, max_size=8), first_stage)
+    def test_schedule_consumes_all_oneffsets_exactly_once(self, values, bits):
+        oneffsets = [list(encode_oneffsets(v)) for v in values]
+        schedule = serial_term_schedule([list(lst) for lst in oneffsets], bits)
+        consumed = [[] for _ in values]
+        for cycle in schedule:
+            for lane, offset in enumerate(cycle.consumed):
+                if offset is not None:
+                    consumed[lane].append(offset)
+        assert consumed == [list(lst) for lst in oneffsets]
+
+    @given(st.lists(uint16, min_size=1, max_size=8))
+    def test_wider_first_stage_never_needs_more_cycles(self, values):
+        oneffsets = [list(encode_oneffsets(v)) for v in values]
+        counts = [schedule_cycle_count(oneffsets, bits) for bits in range(5)]
+        assert counts == sorted(counts, reverse=True)
+
+    @given(st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=16), first_stage)
+    def test_two_stage_decomposition_reconstructs_offsets(self, offsets, bits):
+        common, deltas = two_stage_decompose(offsets, bits)
+        for offset, delta in zip(offsets, deltas):
+            if delta is not None:
+                assert common + delta == offset
+                assert 0 <= delta < (1 << bits)
+
+
+class TestNumericFormatProperties:
+    @given(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False), st.integers(0, 8))
+    def test_fixed_point_roundtrip_error_bounded(self, value, frac_bits):
+        fmt = FixedPointFormat(total_bits=24, frac_bits=frac_bits)
+        recovered = float(fmt.dequantize(fmt.quantize(value)))
+        assert abs(recovered - value) <= fmt.scale / 2 + 1e-9
+
+    @given(
+        st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+        st.floats(min_value=0.5, max_value=200.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_quantization_roundtrip_error_bounded(self, low, span, position):
+        params = QuantizationParams(min_val=low, max_val=low + span)
+        value = low + position * span
+        recovered = float(params.dequantize(params.quantize(np.array([value])))[0])
+        assert abs(recovered - value) <= params.scale / 2 + 1e-9
+
+    @given(st.lists(uint16, min_size=1, max_size=32), st.integers(0, 15), st.integers(0, 15))
+    def test_precision_trim_is_idempotent_and_reducing(self, values, a, b):
+        lsb, msb = min(a, b), max(a, b)
+        precision = LayerPrecision(msb=msb, lsb=lsb)
+        arr = np.array(values)
+        trimmed = precision.trim(arr)
+        assert np.all(popcount(trimmed, 16) <= popcount(arr, 16))
+        np.testing.assert_array_equal(precision.trim(trimmed), trimmed)
+
+
+class TestSchedulingProperties:
+    @given(
+        st.lists(st.lists(uint16, min_size=4, max_size=4), min_size=1, max_size=6),
+        first_stage,
+    )
+    def test_vectorized_drain_matches_reference_scheduler(self, columns, bits):
+        values = np.array(columns)
+        planes = bit_matrix(values, bits=16)
+        vectorized = np.atleast_1d(column_drain_cycles(planes, bits))
+        for index, column in enumerate(columns):
+            oneffsets = [list(encode_oneffsets(v)) for v in column]
+            assert max(1, int(vectorized[index])) == schedule_cycle_count(oneffsets, bits)
+
+    @given(
+        st.integers(1, 3),
+        st.integers(1, 4),
+        st.integers(0, 4),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_sync_scheme_bounds(self, pallets, steps, bits, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 2**16, size=(pallets, steps, 4, 4))
+        values[rng.random(values.shape) < 0.6] = 0
+        pallet = pallet_sync_cycles(values, bits, 16)
+        ideal = column_sync_cycles(values, bits, 16, ssr_count=None)
+        one_reg = column_sync_cycles(values, bits, 16, ssr_count=1)
+        # Pallet-synchronized execution is never faster than ideal column sync
+        # (modulo the one-cycle-per-step SB port skew), and limited SSRs sit in
+        # between the two.
+        assert np.all(ideal <= pallet + steps)
+        assert np.all(one_reg + 1e-9 >= ideal)
+        assert np.all(pallet >= steps)
+        assert np.all(pallet <= steps * 16)
+
+
+class TestPipProperties:
+    @given(
+        st.lists(st.integers(min_value=-255, max_value=255), min_size=4, max_size=4),
+        st.lists(uint16, min_size=4, max_size=4),
+        first_stage,
+    )
+    def test_pip_matches_dot_product(self, synapses, neurons, bits):
+        pip = PragmaticInnerProductUnit(first_stage_bits=bits)
+        partial, cycles = pip.compute(np.array(synapses), np.array(neurons))
+        assert partial == int(np.dot(synapses, neurons))
+        assert 1 <= cycles
