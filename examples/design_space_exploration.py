@@ -8,9 +8,13 @@ This example sweeps both over any network and reports performance together
 with the area/power cost of each point — the data a designer would use to pick
 the PRA-2b-1R configuration the paper recommends.
 
+The sweeps run through :mod:`repro.runtime`, so design points are memoized in
+a content-addressed cache: re-running the exploration (or widening it by a few
+configurations) only simulates what has not been simulated before.
+
 Run it with::
 
-    python examples/design_space_exploration.py [network]
+    python examples/design_space_exploration.py [network] [cache-dir]
 """
 
 from __future__ import annotations
@@ -19,21 +23,31 @@ import sys
 
 from repro.analysis.tables import format_ratio, format_table
 from repro.arch.tiling import SamplingConfig
-from repro.core.sweep import sweep_network
 from repro.core.variants import column_variant, pallet_variant
 from repro.energy.area import design_area
 from repro.energy.efficiency import design_efficiency
 from repro.energy.power import design_power
-from repro.nn.calibration import calibrated_trace
+from repro.runtime import (
+    SimulationRequest,
+    TraceSpec,
+    configure_session,
+    current_session,
+    simulate,
+)
 
 
-def main(network: str = "vgg_m") -> None:
-    trace = calibrated_trace(network)
+def main(network: str = "vgg_m", cache_dir: str | None = None) -> None:
+    if cache_dir:
+        # Persist simulation results so repeat explorations are instant.
+        configure_session(cache_dir=cache_dir)
+    spec = TraceSpec(network=network)
     sampling = SamplingConfig(max_pallets=8)
 
     print(f"== First-stage shifter sweep (per-pallet sync) on {network} ==")
     shifter_configs = {f"PRA-{bits}b": pallet_variant(bits) for bits in range(5)}
-    results = sweep_network(trace, shifter_configs, sampling=sampling)
+    results = simulate(
+        SimulationRequest(trace=spec, configs=tuple(shifter_configs.items()), sampling=sampling)
+    )
     rows = []
     for name, config in shifter_configs.items():
         result = results[name]
@@ -54,7 +68,9 @@ def main(network: str = "vgg_m") -> None:
         ("ideal" if count is None else f"{count} SSR"): column_variant(count)
         for count in (1, 2, 4, 8, 16, None)
     }
-    results = sweep_network(trace, ssr_configs, sampling=sampling)
+    results = simulate(
+        SimulationRequest(trace=spec, configs=tuple(ssr_configs.items()), sampling=sampling)
+    )
     rows = []
     for name, config in ssr_configs.items():
         result = results[name]
@@ -73,7 +89,12 @@ def main(network: str = "vgg_m") -> None:
         "The knee of both curves is the configuration the paper recommends:\n"
         "2-bit first-stage shifters with per-column synchronization and one SSR."
     )
+    print()
+    print(current_session().stats().summary())
 
 
 if __name__ == "__main__":
-    main(sys.argv[1] if len(sys.argv) > 1 else "vgg_m")
+    main(
+        sys.argv[1] if len(sys.argv) > 1 else "vgg_m",
+        sys.argv[2] if len(sys.argv) > 2 else None,
+    )

@@ -25,7 +25,33 @@ from repro.core.scheduling import essential_terms, step_drain_cycles
 from repro.core.software import SoftwareGuidance
 from repro.nn.traces import NetworkTrace
 
-__all__ = ["sweep_network", "cycles_from_drain"]
+__all__ = ["SweepStats", "sweep_network", "cycles_from_drain"]
+
+
+@dataclass
+class SweepStats:
+    """Counters of the work a sweep actually performed.
+
+    The runtime layer passes one instance through every sweep of a session so
+    run summaries can state exactly how much cycle simulation was recomputed
+    (a warm-cache run reports zero on both counters).
+    """
+
+    configs_simulated: int = 0
+    drain_groups_computed: int = 0
+
+    def merge(self, other: "SweepStats | dict") -> None:
+        """Accumulate counters from another stats object (or its dict form)."""
+        if isinstance(other, SweepStats):
+            other = other.as_dict()
+        self.configs_simulated += other.get("configs_simulated", 0)
+        self.drain_groups_computed += other.get("drain_groups_computed", 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "configs_simulated": self.configs_simulated,
+            "drain_groups_computed": self.drain_groups_computed,
+        }
 
 
 def cycles_from_drain(
@@ -70,6 +96,7 @@ def sweep_network(
     trace: NetworkTrace,
     configs: dict[str, PragmaticConfig],
     sampling: SamplingConfig = SamplingConfig(),
+    stats: SweepStats | None = None,
 ) -> dict[str, NetworkResult]:
     """Simulate every configuration over one traced network.
 
@@ -82,6 +109,9 @@ def sweep_network(
         the same chip structure (they do for every paper experiment).
     sampling:
         Pallet sampling configuration.
+    stats:
+        Optional :class:`SweepStats` accumulating how much simulation work the
+        sweep performed (used by :mod:`repro.runtime` run summaries).
 
     Returns
     -------
@@ -101,6 +131,8 @@ def sweep_network(
 
     per_config_layers: dict[str, list[LayerResult]] = {label: [] for label in configs}
     storage_bits = trace.storage_bits
+    if stats is not None:
+        stats.configs_simulated += len(configs)
 
     for layer_index in range(trace.network.num_layers):
         layer = trace.layer(layer_index)
@@ -118,6 +150,8 @@ def sweep_network(
                 trimmed = guidance.apply(values, layer_index)
                 drain = step_drain_cycles(trimmed, config.first_stage_bits, storage_bits)
                 terms_per_neuron = essential_terms(trimmed, storage_bits) / max(1, trimmed.size)
+                if stats is not None:
+                    stats.drain_groups_computed += 1
                 groups[key] = _DrainGroup(
                     drain=drain, terms=terms_per_neuron * layer.macs
                 )

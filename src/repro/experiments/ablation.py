@@ -6,35 +6,32 @@ neurons carry, and whether the first layer is fed dense image pixels.  This
 experiment quantifies how sensitive the headline speedup (PRA-2b, per-pallet
 synchronization) is to both, so readers can judge the robustness of the
 reproduced conclusions.
+
+The simulations run through the runtime engine (the sweep path is numerically
+identical to :class:`repro.core.accelerator.PragmaticAccelerator`), so each
+``(trace variant, network)`` point is cached and the scenario grid fans out
+under ``--jobs``.
 """
 
 from __future__ import annotations
 
 from repro.analysis.speedup import geometric_mean
 from repro.analysis.tables import format_ratio
-from repro.arch.tiling import SamplingConfig
-from repro.core.accelerator import PragmaticAccelerator
 from repro.core.variants import pallet_variant
 from repro.experiments.base import ExperimentResult, Preset, get_preset
-from repro.nn.calibration import calibrated_trace
-from repro.nn.networks import get_network
+from repro.runtime import SimulationRequest, TraceSpec, simulate
 
-__all__ = ["run"]
+__all__ = ["run", "plan"]
 
 #: Suffix-bit depths swept by the ablation.
 SUFFIX_BITS = (0, 1, 2, 3)
 
+#: The design point under ablation.
+_DESIGN_LABEL = "PRA-2b"
 
-def run(preset: str | Preset = "fast", seed: int = 0) -> ExperimentResult:
-    """Sweep suffix bits and the dense-first-layer switch for PRA-2b."""
-    config = get_preset(preset)
-    accelerator = PragmaticAccelerator(pallet_variant(2))
-    sampling = SamplingConfig(max_pallets=config.max_pallets, seed=config.seed)
 
-    headers = ["configuration", *(config.networks), "geomean"]
-    rows: list[list[object]] = []
-    metadata: dict[str, float] = {}
-
+def _scenarios() -> list[tuple[str, dict[str, object]]]:
+    """Label → trace-spec overrides of each ablation scenario."""
     scenarios: list[tuple[str, dict[str, object]]] = [
         (f"suffix={bits}, dense first layer", {"suffix_bits": bits, "dense_first_layer": True})
         for bits in SUFFIX_BITS
@@ -42,13 +39,43 @@ def run(preset: str | Preset = "fast", seed: int = 0) -> ExperimentResult:
     scenarios.append(
         ("suffix=2, sparse first layer", {"suffix_bits": 2, "dense_first_layer": False})
     )
+    return scenarios
 
-    for label, kwargs in scenarios:
+
+def plan(preset: str | Preset = "fast", seed: int = 0) -> list[SimulationRequest]:
+    """One simulation job per (scenario, network) trace variant."""
+    config = get_preset(preset)
+    design = ((_DESIGN_LABEL, pallet_variant(2)),)
+    return [
+        SimulationRequest(
+            trace=TraceSpec(network=name, seed=seed, **kwargs),
+            configs=design,
+            sampling=config.sampling(),
+        )
+        for _, kwargs in _scenarios()
+        for name in config.networks
+    ]
+
+
+def run(preset: str | Preset = "fast", seed: int = 0) -> ExperimentResult:
+    """Sweep suffix bits and the dense-first-layer switch for PRA-2b."""
+    config = get_preset(preset)
+    design = ((_DESIGN_LABEL, pallet_variant(2)),)
+
+    headers = ["configuration", *(config.networks), "geomean"]
+    rows: list[list[object]] = []
+    metadata: dict[str, float] = {}
+
+    for label, kwargs in _scenarios():
         speedups = []
         row: list[object] = [label]
         for name in config.networks:
-            trace = calibrated_trace(get_network(name), seed=seed, **kwargs)
-            result = accelerator.simulate_network(trace, sampling)
+            request = SimulationRequest(
+                trace=TraceSpec(network=name, seed=seed, **kwargs),
+                configs=design,
+                sampling=config.sampling(),
+            )
+            result = simulate(request)[_DESIGN_LABEL]
             speedups.append(result.speedup)
             row.append(format_ratio(result.speedup))
             metadata[f"{label}:{name}"] = result.speedup

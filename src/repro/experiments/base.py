@@ -9,12 +9,17 @@ full reproduction runs.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.arch.tiling import SamplingConfig
 from repro.nn.networks import NETWORK_NAMES
 
-__all__ = ["Preset", "PRESETS", "get_preset", "ExperimentResult"]
+__all__ = ["Preset", "PRESETS", "get_preset", "ExperimentResult", "export_results"]
+
+#: Version of the exported-artifact JSON schema.
+RESULT_SCHEMA = 1
 
 
 @dataclass(frozen=True)
@@ -100,3 +105,44 @@ class ExperimentResult:
         if self.notes:
             parts.extend(["", self.notes])
         return "\n".join(parts)
+
+    # ------------------------------------------------------------------ export
+    def to_dict(self) -> dict:
+        """Machine-readable rendering for downstream tooling."""
+        return {
+            "schema": RESULT_SCHEMA,
+            "experiment": self.experiment,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": self.notes,
+            "metadata": dict(self.metadata),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Render the experiment as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output (artifact round trip)."""
+        return cls(
+            experiment=payload["experiment"],
+            title=payload["title"],
+            headers=list(payload["headers"]),
+            rows=[list(row) for row in payload["rows"]],
+            notes=payload.get("notes", ""),
+            metadata=dict(payload.get("metadata", {})),
+        )
+
+
+def export_results(results: dict[str, ExperimentResult], out_dir: str | Path) -> list[Path]:
+    """Write one ``<experiment>.json`` artifact per result; returns the paths."""
+    directory = Path(out_dir).expanduser()
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for name, result in results.items():
+        path = directory / f"{name}.json"
+        path.write_text(result.to_json() + "\n", encoding="utf-8")
+        paths.append(path)
+    return paths

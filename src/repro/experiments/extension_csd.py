@@ -15,9 +15,9 @@ import numpy as np
 from repro.analysis.speedup import geometric_mean
 from repro.analysis.tables import format_percent
 from repro.experiments.base import ExperimentResult, Preset, get_preset
-from repro.nn.calibration import calibrated_trace
 from repro.nn.networks import get_network
 from repro.numerics.csd import csd_term_counts
+from repro.runtime import TraceSpec, current_session
 from repro.numerics.fixedpoint import popcount
 
 __all__ = ["run"]
@@ -35,7 +35,7 @@ def run(preset: str | Preset = "fast", seed: int = 0) -> ExperimentResult:
 
     for name in config.networks:
         network = get_network(name)
-        trace = calibrated_trace(network, seed=seed)
+        trace = current_session().trace(TraceSpec(network=name, seed=seed))
         totals = {engine: 0.0 for engine in _ENGINES}
         baseline = 0.0
         for index, layer in enumerate(network.layers):

@@ -5,13 +5,11 @@ from __future__ import annotations
 from repro.analysis.speedup import geometric_mean, stripes_result
 from repro.analysis.tables import format_ratio
 from repro.core.variants import column_variant, pallet_variant
-from repro.core.sweep import sweep_network
 from repro.energy.efficiency import design_efficiency
 from repro.experiments.base import ExperimentResult, Preset, get_preset
-from repro.nn.calibration import calibrated_trace
-from repro.nn.networks import get_network
+from repro.runtime import SimulationRequest, TraceSpec, current_session, simulate
 
-__all__ = ["run", "PAPER_GEOMEANS"]
+__all__ = ["run", "plan", "PAPER_GEOMEANS"]
 
 #: Average efficiencies the paper reports: Stripes +16%, PRA-4b −5%, PRA-2b +28%,
 #: PRA-2b-1R +48%.
@@ -23,34 +21,57 @@ PAPER_GEOMEANS: dict[str, float] = {
 }
 
 
-def run(preset: str | Preset = "fast", seed: int = 0) -> ExperimentResult:
-    """Reproduce Figure 11: relative energy efficiency of the headline designs."""
-    config = get_preset(preset)
-    pragmatic_designs = {
+def _designs() -> dict[str, object]:
+    """The headline Pragmatic designs of this figure."""
+    return {
         "PRA-4b": pallet_variant(4),
         "PRA-2b": pallet_variant(2),
         "PRA-2b-1R": column_variant(1),
     }
+
+
+def plan(preset: str | Preset = "fast", seed: int = 0) -> list[SimulationRequest]:
+    """The cycle simulations this experiment needs (one job per network).
+
+    Every design here also appears in Figure 9 or Figure 10, so in a combined
+    run these jobs are pure cache hits.
+    """
+    config = get_preset(preset)
+    designs = tuple(_designs().items())
+    return [
+        SimulationRequest(
+            trace=TraceSpec(network=name, seed=seed),
+            configs=designs,
+            sampling=config.sampling(),
+        )
+        for name in config.networks
+    ]
+
+
+def run(preset: str | Preset = "fast", seed: int = 0) -> ExperimentResult:
+    """Reproduce Figure 11: relative energy efficiency of the headline designs."""
+    config = get_preset(preset)
+    pragmatic_designs = _designs()
     engine_names = ["Stripes", *pragmatic_designs.keys()]
     headers = ["network", *engine_names]
     rows: list[list[object]] = []
     metadata: dict[str, float] = {}
     efficiencies: dict[str, list[float]] = {name: [] for name in engine_names}
 
-    for name in config.networks:
-        network = get_network(name)
-        trace = calibrated_trace(network, seed=seed)
-        results = sweep_network(trace, pragmatic_designs, sampling=config.sampling())
-        row: list[object] = [network.name]
+    for request in plan(config, seed):
+        results = simulate(request)
+        trace = current_session().trace(request.trace)
+        network_name = trace.network.name
+        row: list[object] = [network_name]
         stripes = design_efficiency("stripes", stripes_result(trace))
         row.append(format_ratio(stripes.efficiency))
         efficiencies["Stripes"].append(stripes.efficiency)
-        metadata[f"{network.name}:Stripes"] = stripes.efficiency
+        metadata[f"{network_name}:Stripes"] = stripes.efficiency
         for label, design in pragmatic_designs.items():
             entry = design_efficiency(design, results[label])
             row.append(format_ratio(entry.efficiency))
             efficiencies[label].append(entry.efficiency)
-            metadata[f"{network.name}:{label}"] = entry.efficiency
+            metadata[f"{network_name}:{label}"] = entry.efficiency
         rows.append(row)
 
     geomeans = {name: geometric_mean(values) for name, values in efficiencies.items()}

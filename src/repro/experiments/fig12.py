@@ -5,16 +5,28 @@ from __future__ import annotations
 from repro.analysis.speedup import geometric_mean, stripes_result
 from repro.analysis.tables import format_ratio
 from repro.core.variants import fig12_variants
-from repro.core.sweep import sweep_network
 from repro.experiments.base import ExperimentResult, Preset, get_preset
-from repro.nn.calibration import calibrated_trace
-from repro.nn.networks import get_network
 from repro.nn.precision import table2_precisions
+from repro.runtime import SimulationRequest, TraceSpec, current_session, simulate
 
-__all__ = ["run", "PAPER_GEOMEANS"]
+__all__ = ["run", "plan", "PAPER_GEOMEANS"]
 
 #: The paper reports PRA-2b-1R reaching nearly 3.5x with the quantized representation.
 PAPER_GEOMEANS: dict[str, float] = {"perCol-1reg-2bit": 3.5}
+
+
+def plan(preset: str | Preset = "fast", seed: int = 0) -> list[SimulationRequest]:
+    """The cycle simulations this experiment needs (one job per network)."""
+    config = get_preset(preset)
+    variants = tuple(fig12_variants().items())
+    return [
+        SimulationRequest(
+            trace=TraceSpec(network=name, representation="quant8", seed=seed),
+            configs=variants,
+            sampling=config.sampling(),
+        )
+        for name in config.networks
+    ]
 
 
 def run(preset: str | Preset = "fast", seed: int = 0) -> ExperimentResult:
@@ -27,10 +39,10 @@ def run(preset: str | Preset = "fast", seed: int = 0) -> ExperimentResult:
     metadata: dict[str, float] = {}
     speedups: dict[str, list[float]] = {name: [] for name in engine_names}
 
-    for name in config.networks:
-        network = get_network(name)
-        trace = calibrated_trace(network, representation="quant8", seed=seed)
-        results = sweep_network(trace, variants, sampling=config.sampling())
+    for request in plan(config, seed):
+        results = simulate(request)
+        trace = current_session().trace(request.trace)
+        network = trace.network
         # The published (16-bit) precision profiles capped at the 8-bit storage
         # width stand in for re-profiled quantized precisions.
         capped = tuple(min(width, 8) for width in table2_precisions(network))

@@ -5,15 +5,27 @@ from __future__ import annotations
 from repro.analysis.speedup import geometric_mean, stripes_result
 from repro.analysis.tables import format_ratio
 from repro.core.variants import fig9_variants
-from repro.core.sweep import sweep_network
 from repro.experiments.base import ExperimentResult, Preset, get_preset
-from repro.nn.calibration import calibrated_trace
-from repro.nn.networks import get_network
+from repro.runtime import SimulationRequest, TraceSpec, current_session, simulate
 
-__all__ = ["run", "PAPER_GEOMEANS"]
+__all__ = ["run", "plan", "PAPER_GEOMEANS"]
 
 #: Geometric-mean speedups the paper reports for this figure.
 PAPER_GEOMEANS: dict[str, float] = {"Stripes": 1.85, "4-bit": 2.59}
+
+
+def plan(preset: str | Preset = "fast", seed: int = 0) -> list[SimulationRequest]:
+    """The cycle simulations this experiment needs (one job per network)."""
+    config = get_preset(preset)
+    variants = tuple(fig9_variants().items())
+    return [
+        SimulationRequest(
+            trace=TraceSpec(network=name, seed=seed),
+            configs=variants,
+            sampling=config.sampling(),
+        )
+        for name in config.networks
+    ]
 
 
 def run(preset: str | Preset = "fast", seed: int = 0) -> ExperimentResult:
@@ -26,19 +38,19 @@ def run(preset: str | Preset = "fast", seed: int = 0) -> ExperimentResult:
     metadata: dict[str, float] = {}
     speedups: dict[str, list[float]] = {name: [] for name in engine_names}
 
-    for name in config.networks:
-        network = get_network(name)
-        trace = calibrated_trace(network, seed=seed)
-        results = sweep_network(trace, variants, sampling=config.sampling())
+    for request in plan(config, seed):
+        results = simulate(request)
+        trace = current_session().trace(request.trace)
+        network_name = trace.network.name
         stripes = stripes_result(trace)
-        row: list[object] = [network.name, format_ratio(stripes.speedup)]
+        row: list[object] = [network_name, format_ratio(stripes.speedup)]
         speedups["Stripes"].append(stripes.speedup)
-        metadata[f"{network.name}:Stripes"] = stripes.speedup
+        metadata[f"{network_name}:Stripes"] = stripes.speedup
         for label in variants:
             speedup = results[label].speedup
             row.append(format_ratio(speedup))
             speedups[label].append(speedup)
-            metadata[f"{network.name}:{label}"] = speedup
+            metadata[f"{network_name}:{label}"] = speedup
         rows.append(row)
 
     geomeans = {name: geometric_mean(values) for name, values in speedups.items()}

@@ -4,14 +4,25 @@ Run a single experiment::
 
     python -m repro.experiments.runner --experiment fig9 --preset fast
 
-or regenerate every table and figure::
+regenerate every table and figure in parallel with a warm result cache::
 
-    python -m repro.experiments.runner --all --preset full
+    python -m repro.experiments.runner --all --preset full --jobs 4
+
+or list what is available::
+
+    python -m repro.experiments.runner --list
+
+``python -m repro`` is an alias for this module, and the installed console
+script is ``repro-experiments``.  Runs are executed by :mod:`repro.runtime`:
+``--jobs N`` fans simulation and experiment jobs out over a process pool,
+``--cache-dir``/``--no-cache`` control the content-addressed result cache, and
+``--out DIR`` exports one JSON artifact per experiment.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Callable
 
 from repro.experiments import (
@@ -29,9 +40,15 @@ from repro.experiments import (
     table4,
     table5,
 )
-from repro.experiments.base import ExperimentResult, PRESETS, Preset
+from repro.experiments.base import ExperimentResult, PRESETS, Preset, export_results
 
-__all__ = ["EXPERIMENTS", "run_experiment", "run_all", "main"]
+__all__ = [
+    "EXPERIMENTS",
+    "experiment_description",
+    "run_experiment",
+    "run_all",
+    "main",
+]
 
 #: Registry of experiment id → run function, in the paper's presentation order.
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
@@ -51,18 +68,29 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
+def experiment_description(name: str) -> str:
+    """One-line description of an experiment (its module docstring's first line)."""
+    module = sys.modules[EXPERIMENTS[name].__module__]
+    doc = module.__doc__ or ""
+    first = doc.strip().splitlines()[0] if doc.strip() else ""
+    return first.rstrip(".")
+
+
 def run_experiment(
     name: str, preset: str | Preset = "fast", seed: int = 0
 ) -> ExperimentResult:
-    """Run one experiment by id."""
+    """Run one experiment by id (within the caller's runtime session)."""
     if name not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}")
     return EXPERIMENTS[name](preset=preset, seed=seed)
 
 
 def run_all(preset: str | Preset = "fast", seed: int = 0) -> dict[str, ExperimentResult]:
-    """Run every experiment in presentation order."""
-    return {name: run(preset=preset, seed=seed) for name, run in EXPERIMENTS.items()}
+    """Run every experiment in presentation order (serial, session-cached)."""
+    from repro.runtime import run_experiments
+
+    report = run_experiments(list(EXPERIMENTS), preset=preset, seed=seed)
+    return report.results
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -73,19 +101,68 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--experiment", choices=sorted(EXPERIMENTS), help="experiment id")
     parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and descriptions"
+    )
     parser.add_argument("--preset", choices=sorted(PRESETS), default="fast")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the run (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="on-disk result cache directory (default: ~/.cache/repro-pragmatic "
+        "or $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache entirely"
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="export one JSON artifact per experiment into DIR",
+    )
     args = parser.parse_args(argv)
 
-    if not args.all and not args.experiment:
-        parser.error("specify --experiment NAME or --all")
+    if args.list:
+        width = max(len(name) for name in EXPERIMENTS)
+        for name in EXPERIMENTS:
+            print(f"{name:<{width}}  {experiment_description(name)}")
+        return 0
 
-    if args.all:
-        for name, result in run_all(preset=args.preset, seed=args.seed).items():
-            print(result.to_text())
-            print()
-    else:
-        print(run_experiment(args.experiment, preset=args.preset, seed=args.seed).to_text())
+    if not args.all and not args.experiment:
+        parser.error("specify --experiment NAME, --all, or --list")
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+
+    from repro.runtime import run_experiments
+    from repro.runtime.session import DEFAULT_CACHE_DIR
+
+    names = list(EXPERIMENTS) if args.all else [args.experiment]
+    cache_dir = None if args.no_cache else (args.cache_dir or DEFAULT_CACHE_DIR)
+    report = run_experiments(
+        names,
+        preset=args.preset,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        no_cache=args.no_cache,
+    )
+
+    for result in report.results.values():
+        print(result.to_text())
+        print()
+    if args.out:
+        paths = export_results(report.results, args.out)
+        print(f"exported {len(paths)} artifact(s) to {args.out}")
+    print(report.summary())
     return 0
 
 

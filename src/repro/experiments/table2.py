@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 from repro.experiments.base import ExperimentResult, Preset, get_preset
-from repro.nn.calibration import calibrated_trace
 from repro.nn.networks import get_network
 from repro.nn.precision import profile_from_values, table2_precisions
+from repro.runtime import TraceSpec, current_session
 
 __all__ = ["run"]
 
@@ -24,7 +24,7 @@ def run(preset: str | Preset = "fast", seed: int = 0) -> ExperimentResult:
     for name in config.networks:
         network = get_network(name)
         published = table2_precisions(network)
-        trace = calibrated_trace(network, seed=seed)
+        trace = current_session().trace(TraceSpec(network=name, seed=seed))
         profiled = []
         for index in range(network.num_layers):
             values = trace.sample_layer_values(index, config.samples_per_layer)

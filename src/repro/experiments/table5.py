@@ -5,12 +5,10 @@ from __future__ import annotations
 from repro.analysis.speedup import geometric_mean
 from repro.analysis.tables import format_percent, format_ratio
 from repro.core.variants import column_variant
-from repro.core.sweep import sweep_network
 from repro.experiments.base import ExperimentResult, Preset, get_preset
-from repro.nn.calibration import calibrated_trace
-from repro.nn.networks import get_network
+from repro.runtime import SimulationRequest, TraceSpec, simulate
 
-__all__ = ["run", "PAPER_BENEFITS"]
+__all__ = ["run", "plan", "PAPER_BENEFITS"]
 
 #: Table V of the paper: speedup fraction attributable to software guidance.
 PAPER_BENEFITS: dict[str, float] = {
@@ -23,13 +21,34 @@ PAPER_BENEFITS: dict[str, float] = {
 }
 
 
-def run(preset: str | Preset = "fast", seed: int = 0) -> ExperimentResult:
-    """Reproduce Table V: PRA-2b-1R with and without software guidance."""
-    config = get_preset(preset)
-    variants = {
+def _variants() -> dict[str, object]:
+    return {
         "with-software": column_variant(1, software_trimming=True),
         "without-software": column_variant(1, software_trimming=False),
     }
+
+
+def plan(preset: str | Preset = "fast", seed: int = 0) -> list[SimulationRequest]:
+    """The cycle simulations this experiment needs (one job per network).
+
+    The guided design point is Figure 10's PRA-2b-1R, so combined runs only
+    simulate the unguided counterpart here.
+    """
+    config = get_preset(preset)
+    variants = tuple(_variants().items())
+    return [
+        SimulationRequest(
+            trace=TraceSpec(network=name, seed=seed),
+            configs=variants,
+            sampling=config.sampling(),
+        )
+        for name in config.networks
+    ]
+
+
+def run(preset: str | Preset = "fast", seed: int = 0) -> ExperimentResult:
+    """Reproduce Table V: PRA-2b-1R with and without software guidance."""
+    config = get_preset(preset)
     headers = [
         "network",
         "speedup (software)",
@@ -40,22 +59,21 @@ def run(preset: str | Preset = "fast", seed: int = 0) -> ExperimentResult:
     rows: list[list[object]] = []
     metadata: dict[str, float] = {}
     benefits: list[float] = []
-    for name in config.networks:
-        network = get_network(name)
-        trace = calibrated_trace(network, seed=seed)
-        results = sweep_network(trace, variants, sampling=config.sampling())
+    for request in plan(config, seed):
+        results = simulate(request)
+        network_name = results["with-software"].network
         guided = results["with-software"].speedup
         unguided = results["without-software"].speedup
         benefit = guided / unguided - 1.0
         benefits.append(benefit)
-        metadata[f"{network.name}:benefit"] = benefit
+        metadata[f"{network_name}:benefit"] = benefit
         rows.append(
             [
-                network.name,
+                network_name,
                 format_ratio(guided),
                 format_ratio(unguided),
                 format_percent(benefit, digits=0),
-                format_percent(PAPER_BENEFITS.get(network.name, float("nan")), digits=0),
+                format_percent(PAPER_BENEFITS.get(network_name, float("nan")), digits=0),
             ]
         )
     average = sum(benefits) / len(benefits)

@@ -1,0 +1,60 @@
+"""repro.runtime — parallel, cached experiment execution engine.
+
+The runtime decomposes an experiment run into ``(network, preset,
+config-group)`` simulation jobs with explicit dependencies, fans them out over
+a process pool (``--jobs N``) and reassembles the results deterministically.
+Expensive cycle simulations are memoized in a content-addressed on-disk cache
+keyed by a stable fingerprint of (trace spec, sampling config, accelerator
+config, code version), and each network's calibrated trace is built once per
+session through a shared trace store.
+
+Layering::
+
+    fingerprint   stable content hashes (no repro dependencies)
+    serialization NetworkResult/LayerResult <-> JSON payloads
+    cache         content-addressed result cache (memory / disk / disabled)
+    trace_store   TraceSpec + per-session calibrated-trace store
+    session       RuntimeSession (cache + traces + stats) and the active session
+    engine        simulate(): cached sweep execution against the session
+    jobs          job model and run planning (dedup across experiments)
+    scheduler     process-pool execution, serial fallback, run reports
+"""
+
+from repro.runtime.cache import CacheStats, ResultCache
+from repro.runtime.engine import SimulationRequest, simulate
+from repro.runtime.fingerprint import code_fingerprint, fingerprint, simulation_key
+from repro.runtime.jobs import ExperimentJob, RunPlan, SimulationJob, build_plan
+from repro.runtime.scheduler import RunReport, run_experiments
+from repro.runtime.session import (
+    RunStats,
+    RuntimeSession,
+    configure_session,
+    current_session,
+    isolated_session,
+    use_session,
+)
+from repro.runtime.trace_store import TraceSpec, TraceStore
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "SimulationRequest",
+    "simulate",
+    "code_fingerprint",
+    "fingerprint",
+    "simulation_key",
+    "ExperimentJob",
+    "RunPlan",
+    "SimulationJob",
+    "build_plan",
+    "RunReport",
+    "run_experiments",
+    "RunStats",
+    "RuntimeSession",
+    "configure_session",
+    "current_session",
+    "isolated_session",
+    "use_session",
+    "TraceSpec",
+    "TraceStore",
+]

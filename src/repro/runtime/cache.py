@@ -1,0 +1,194 @@
+"""Content-addressed result cache.
+
+One :class:`ResultCache` stores JSON payloads under fingerprint keys (see
+:mod:`repro.runtime.fingerprint`).  Three modes share the interface:
+
+* **disk** (``directory`` set) — one ``<key>.json`` file per entry, written
+  atomically so concurrent process-pool workers can share the directory; an
+  in-process memo avoids re-reading entries this process already touched.
+* **memory** (``directory=None``) — a per-process dict; the default for
+  library use so importing ``repro`` never writes to disk.
+* **disabled** (``ResultCache.disabled()``) — every lookup misses and stores
+  are dropped (the ``--no-cache`` mode).
+
+Corrupted entries (truncated writes, manual edits, schema drift) are treated
+as misses: the entry is deleted, ``stats.errors`` is incremented and the
+caller recomputes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["CacheStats", "ResultCache"]
+
+#: Format version of on-disk entries; mismatches are treated as corruption.
+ENTRY_SCHEMA = 1
+
+
+@dataclass
+class CacheStats:
+    """Counters describing how a cache behaved during a run."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0
+
+    def merge(self, other: "CacheStats | dict") -> None:
+        """Accumulate counters from another stats object (or its dict form)."""
+        if isinstance(other, CacheStats):
+            other = other.as_dict()
+        self.hits += other.get("hits", 0)
+        self.misses += other.get("misses", 0)
+        self.stores += other.get("stores", 0)
+        self.errors += other.get("errors", 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "errors": self.errors,
+        }
+
+
+class ResultCache:
+    """Content-addressed cache of JSON payloads keyed by fingerprint."""
+
+    def __init__(self, directory: str | Path | None = None, enabled: bool = True) -> None:
+        self.directory = Path(directory).expanduser() if directory is not None else None
+        self.enabled = enabled
+        self.stats = CacheStats()
+        self._memory: dict[str, dict] = {}
+        if self.enabled and self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+
+    @classmethod
+    def disabled(cls) -> "ResultCache":
+        """A cache that never hits and never stores."""
+        return cls(directory=None, enabled=False)
+
+    @property
+    def persistent(self) -> bool:
+        """Whether entries survive this process (i.e. the cache is on disk)."""
+        return self.enabled and self.directory is not None
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.json"
+
+    # ------------------------------------------------------------------ lookup
+    def get(self, key: str, kind: str = "network_result") -> dict | None:
+        """Payload stored under ``key``, or ``None`` on a miss."""
+        if not self.enabled:
+            self.stats.misses += 1
+            return None
+        if key in self._memory:
+            self.stats.hits += 1
+            return self._memory[key]
+        if self.directory is None:
+            self.stats.misses += 1
+            return None
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+            if entry["schema"] != ENTRY_SCHEMA or entry["kind"] != kind:
+                raise ValueError("cache entry schema mismatch")
+            payload = entry["payload"]
+            if not isinstance(payload, dict):
+                raise ValueError("cache entry payload is not an object")
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Corrupted entry: drop it and recompute.
+            self.stats.errors += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        self._memory[key] = payload
+        return payload
+
+    def contains(self, key: str, kind: str = "network_result") -> bool:
+        """Whether ``key`` resolves to a valid entry, without counting hit/miss.
+
+        Used by the run planner to prune simulation jobs.  Validates the entry
+        but deliberately does not retain its payload (the planning process
+        never consumes the results, only the workers do); hit/miss counters
+        are reserved for actual lookups, while corruption discovered during a
+        probe still counts as an error and drops the entry.
+        """
+        if not self.enabled:
+            return False
+        if key in self._memory:
+            return True
+        if self.directory is None:
+            return False
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+            valid = (
+                entry["schema"] == ENTRY_SCHEMA
+                and entry["kind"] == kind
+                and isinstance(entry["payload"], dict)
+            )
+        except FileNotFoundError:
+            return False
+        except (OSError, ValueError, KeyError, TypeError):
+            valid = False
+        if not valid:
+            self.stats.errors += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False
+        return True
+
+    # ------------------------------------------------------------------ store
+    def put(self, key: str, payload: dict, kind: str = "network_result") -> None:
+        """Store ``payload`` under ``key`` (atomic on disk).
+
+        Disk failures (read-only directory, disk full) are not fatal: the
+        entry stays available in memory for this process and the failure is
+        counted in ``stats.errors``.
+        """
+        if not self.enabled:
+            return
+        self._memory[key] = payload
+        self.stats.stores += 1
+        if self.directory is None:
+            return
+        entry = {"schema": ENTRY_SCHEMA, "kind": kind, "key": key, "payload": payload}
+        text = json.dumps(entry, sort_keys=True)
+        tmp_name = None
+        try:
+            descriptor, tmp_name = tempfile.mkstemp(
+                dir=self.directory, prefix=f".{key[:16]}-", suffix=".tmp"
+            )
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp_name, self._path(key))
+        except OSError:
+            self.stats.errors += 1
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+
+    def __len__(self) -> int:
+        if not self.enabled:
+            return 0
+        if self.directory is None:
+            return len(self._memory)
+        return sum(1 for _ in self.directory.glob("*.json"))

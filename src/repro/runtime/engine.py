@@ -1,0 +1,83 @@
+"""Cached execution of cycle-simulation sweeps.
+
+:func:`simulate` is the single funnel every experiment's cycle simulation goes
+through.  It resolves each requested ``(trace spec, sampling, config)`` triple
+against the session cache, runs one :func:`repro.core.sweep.sweep_network`
+over exactly the missing configurations (so drain tensors are still shared
+within the group), and stores each fresh result under its own key — which is
+what lets overlapping experiments (Figure 9 / Figure 10 / Figure 11 / Table V
+all evaluate common PRA design points) reuse each other's work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.tiling import SamplingConfig
+from repro.core.accelerator import NetworkResult, PragmaticConfig
+from repro.core.sweep import sweep_network
+from repro.runtime.fingerprint import simulation_key
+from repro.runtime.serialization import network_result_from_dict, network_result_to_dict
+from repro.runtime.session import RuntimeSession, current_session
+from repro.runtime.trace_store import TraceSpec
+
+__all__ = ["SimulationRequest", "simulate"]
+
+
+@dataclass(frozen=True)
+class SimulationRequest:
+    """One config-group simulation task: a set of designs over one trace.
+
+    Attributes
+    ----------
+    trace:
+        Declarative spec of the calibrated trace to simulate over.
+    configs:
+        ``(label, config)`` pairs, in presentation order.  Labels are
+        display-only; caching keys ignore them.
+    sampling:
+        Pallet sampling configuration (from the preset).
+    """
+
+    trace: TraceSpec
+    configs: tuple[tuple[str, PragmaticConfig], ...]
+    sampling: SamplingConfig = SamplingConfig()
+
+    def keys(self) -> dict[str, str]:
+        """Cache key per label."""
+        return {
+            label: simulation_key(self.trace, self.sampling, config)
+            for label, config in self.configs
+        }
+
+
+def simulate(
+    request: SimulationRequest, session: RuntimeSession | None = None
+) -> dict[str, NetworkResult]:
+    """Run (or recall) every configuration of ``request``.
+
+    Returns label → :class:`NetworkResult` in the request's order, numerically
+    identical whether each result came from the cache or a fresh sweep.
+    """
+    session = session if session is not None else current_session()
+    labels = [label for label, _ in request.configs]
+    if len(set(labels)) != len(labels):
+        raise ValueError(f"duplicate labels in simulation request: {labels}")
+    keys = request.keys()
+    results: dict[str, NetworkResult] = {}
+    missing: dict[str, PragmaticConfig] = {}
+    for label, config in request.configs:
+        payload = session.cache.get(keys[label])
+        if payload is not None:
+            results[label] = network_result_from_dict(payload, accelerator=config.name)
+        else:
+            missing[label] = config
+    if missing:
+        trace = session.traces.get(request.trace)
+        computed = sweep_network(
+            trace, missing, sampling=request.sampling, stats=session.sweep_stats
+        )
+        for label, result in computed.items():
+            session.cache.put(keys[label], network_result_to_dict(result))
+            results[label] = result
+    return {label: results[label] for label, _ in request.configs}

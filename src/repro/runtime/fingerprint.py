@@ -1,0 +1,103 @@
+"""Stable content fingerprints for cache keys.
+
+Cache correctness rests on two properties of the fingerprint:
+
+* **stability** — the same logical inputs hash identically across processes
+  and sessions (so a warm cache survives restarts and process-pool workers
+  share entries), and
+* **sensitivity** — anything that can change a simulation's numbers (trace
+  spec, sampling config, accelerator config, the simulation code itself) is
+  part of the key, and nothing else is (display labels are excluded so that
+  identically-parameterized configurations share entries across experiments).
+
+Fingerprints are SHA-256 hex digests of a canonical JSON rendering.  The code
+version component hashes the source of every package whose code determines the
+simulated numbers (``core``, ``nn``, ``arch``, ``baselines``, ``numerics``);
+editing the runtime or an experiment's presentation logic intentionally does
+not invalidate cached simulations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import json
+from pathlib import Path
+
+__all__ = ["canonicalize", "fingerprint", "code_fingerprint", "simulation_key"]
+
+#: Bump to invalidate every existing cache entry on a schema change.
+CACHE_SCHEMA_VERSION = 1
+
+#: Subpackages whose source participates in the code fingerprint — exactly the
+#: ones the cycle simulations execute.
+_CODE_PACKAGES = ("core", "nn", "arch", "baselines", "numerics")
+
+
+def canonicalize(obj: object) -> object:
+    """Recursively normalize ``obj`` into JSON-representable primitives.
+
+    Dataclasses are rendered as ``[qualified-name, {field: value, ...}]`` so
+    two different configuration types with coincidentally equal fields cannot
+    collide.  Mappings are sorted by key; sets are sorted; tuples and lists
+    are rendered as lists.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            field.name: canonicalize(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+            if not field.name.startswith("_")
+        }
+        return [type(obj).__qualname__, fields]
+    if isinstance(obj, dict):
+        return {str(key): canonicalize(value) for key, value in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(item) for item in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(canonicalize(item) for item in obj)
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise TypeError(f"cannot fingerprint object of type {type(obj).__name__}: {obj!r}")
+
+
+def fingerprint(obj: object) -> str:
+    """SHA-256 hex digest of the canonical JSON rendering of ``obj``."""
+    payload = json.dumps(canonicalize(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@functools.lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Fingerprint of the package version plus the simulation source code."""
+    import repro
+
+    digest = hashlib.sha256()
+    digest.update(f"schema={CACHE_SCHEMA_VERSION};version={repro.__version__};".encode())
+    root = Path(repro.__file__).resolve().parent
+    for package in _CODE_PACKAGES:
+        for source in sorted((root / package).glob("*.py")):
+            digest.update(source.name.encode())
+            digest.update(source.read_bytes())
+    return digest.hexdigest()
+
+
+def simulation_key(trace_spec: object, sampling: object, config: object) -> str:
+    """Cache key of one ``(trace spec, sampling, accelerator config)`` simulation.
+
+    The configuration's display ``label`` is excluded: it names the result but
+    does not influence any simulated number, and excluding it lets experiments
+    that evaluate the same design point under different names (e.g. Figure 9's
+    ``4-bit`` and PRAsingle) share one cache entry.
+    """
+    if dataclasses.is_dataclass(config) and hasattr(config, "label"):
+        config = dataclasses.replace(config, label=None)
+    return fingerprint(
+        {
+            "kind": "simulation",
+            "code": code_fingerprint(),
+            "trace": canonicalize(trace_spec),
+            "sampling": canonicalize(sampling),
+            "config": canonicalize(config),
+        }
+    )

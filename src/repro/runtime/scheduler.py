@@ -1,0 +1,263 @@
+"""Process-pool execution of run plans, with graceful serial fallback.
+
+The scheduler executes a :class:`~repro.runtime.jobs.RunPlan` as a dependency
+wavefront over a ``concurrent.futures`` process pool: simulation jobs run
+first (they have no dependencies), each experiment job is submitted as soon as
+the simulation jobs it depends on have populated the shared on-disk cache, and
+results are reassembled in the caller's order so a parallel run is
+indistinguishable from a serial one.
+
+Fallbacks keep the engine dependable everywhere:
+
+* ``jobs <= 1`` runs everything in-process (no pool, no pickling);
+* without a *persistent* cache (``--no-cache`` or a memory-only session)
+  simulation jobs cannot hand results to experiment workers, so the plan
+  degrades to experiment-level parallelism with self-contained jobs;
+* if the platform cannot create a process pool at all, the run silently
+  degrades to serial execution and says so in the report.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.sweep import SweepStats
+from repro.experiments.base import ExperimentResult, Preset, get_preset
+from repro.runtime.cache import CacheStats
+from repro.runtime.engine import simulate
+from repro.runtime.jobs import ExperimentJob, RunPlan, SimulationJob, build_plan
+from repro.runtime.session import (
+    RunStats,
+    RuntimeSession,
+    ResultCache,
+    configure_session,
+    current_session,
+    use_session,
+)
+
+__all__ = ["RunReport", "run_experiments"]
+
+
+@dataclass
+class RunReport:
+    """Everything a run produced: results, statistics, and how it executed."""
+
+    results: dict[str, ExperimentResult]
+    stats: RunStats
+    preset: str
+    seed: int
+    jobs: int
+    simulation_jobs: int
+    planned_cache_hits: int
+    elapsed_seconds: float
+    mode: str  # "parallel" | "serial" | "serial-fallback"
+    cache_dir: str | None = None
+
+    def summary(self) -> str:
+        """Multi-line, human-readable run summary (printed by the CLI)."""
+        lines = [
+            "== run summary ==",
+            f"experiments: {len(self.results)}  preset: {self.preset}  seed: {self.seed}",
+            f"mode: {self.mode}  jobs: {self.jobs}  "
+            f"simulation jobs: {self.simulation_jobs}  "
+            f"planned cache hits: {self.planned_cache_hits}",
+            f"{self.stats.summary()}",
+            f"cache dir: {self.cache_dir or '(memory only)'}",
+            f"elapsed: {self.elapsed_seconds:.1f}s",
+        ]
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- workers
+def _init_worker(cache_dir: str | None, no_cache: bool) -> None:
+    """Pool initializer: give the worker process its own configured session."""
+    configure_session(cache_dir=cache_dir, no_cache=no_cache)
+
+
+def _reset_job_stats(session: RuntimeSession) -> None:
+    """Zero the session counters so the next job reports only its own work."""
+    session.cache.stats = CacheStats()
+    session.sweep_stats = SweepStats()
+    session.traces.builds = 0
+    session.traces.reuses = 0
+
+
+def _execute_job(job: SimulationJob | ExperimentJob) -> tuple[str, ExperimentResult | None, dict]:
+    """Run one job in the worker's session; returns (job id, result, stats delta)."""
+    session = current_session()
+    _reset_job_stats(session)
+    result: ExperimentResult | None = None
+    if isinstance(job, SimulationJob):
+        simulate(job.request, session=session)
+    else:
+        from repro.experiments.runner import run_experiment
+
+        result = run_experiment(job.experiment, preset=job.preset, seed=job.seed)
+    return job.job_id, result, session.stats().as_dict()
+
+
+def _stats_delta(end: dict, start: dict) -> dict:
+    """Counter-wise ``end - start`` over nested stats dicts.
+
+    Runs may execute inside a long-lived session; the report must describe
+    this run only, not the session's lifetime totals.
+    """
+    delta: dict = {}
+    for key, value in end.items():
+        if isinstance(value, dict):
+            delta[key] = _stats_delta(value, start.get(key, {}))
+        else:
+            delta[key] = value - start.get(key, 0)
+    return delta
+
+
+# ------------------------------------------------------------------ execution
+def _run_serial(
+    names: list[str], preset: Preset, seed: int, session: RuntimeSession
+) -> dict[str, ExperimentResult]:
+    """In-process execution; the shared session already provides all reuse."""
+    from repro.experiments.runner import run_experiment
+
+    with use_session(session):
+        return {name: run_experiment(name, preset=preset, seed=seed) for name in names}
+
+
+def _run_parallel(
+    plan: RunPlan,
+    jobs: int,
+    session: RuntimeSession,
+    stats: RunStats,
+) -> dict[str, ExperimentResult]:
+    """Dependency-wavefront execution over a process pool."""
+    cache_dir = str(session.cache.directory) if session.cache.directory else None
+    no_cache = not session.cache.enabled
+    context = multiprocessing.get_context("spawn")
+    results: dict[str, ExperimentResult] = {}
+    waiting = list(plan.jobs())
+    done_ids: set[str] = set()
+
+    try:
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(cache_dir, no_cache),
+        )
+    except (OSError, PermissionError) as error:
+        # Normalize "cannot create a pool at all" to the executor failure the
+        # caller handles with the serial fallback.
+        raise concurrent.futures.BrokenExecutor(
+            f"could not create process pool: {error}"
+        ) from error
+    with pool:
+        running: dict[concurrent.futures.Future, str] = {}
+        while waiting or running:
+            ready = [job for job in waiting if all(dep in done_ids for dep in job.deps)]
+            waiting = [job for job in waiting if not all(dep in done_ids for dep in job.deps)]
+            for job in ready:
+                running[pool.submit(_execute_job, job)] = job.job_id
+            if not running:
+                raise RuntimeError(
+                    "run plan deadlocked: jobs "
+                    f"{[job.job_id for job in waiting]} have unsatisfiable dependencies"
+                )
+            finished, _ = concurrent.futures.wait(
+                running, return_when=concurrent.futures.FIRST_COMPLETED
+            )
+            for future in finished:
+                running.pop(future)
+                job_id, result, job_stats = future.result()
+                done_ids.add(job_id)
+                stats.merge(job_stats)
+                if result is not None:
+                    results[job_id.removeprefix("exp:")] = result
+    return results
+
+
+def run_experiments(
+    names: list[str],
+    preset: str | Preset = "fast",
+    seed: int = 0,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    no_cache: bool = False,
+) -> RunReport:
+    """Run experiments through the runtime and reassemble results deterministically.
+
+    Parameters
+    ----------
+    names:
+        Experiment ids, in the order results should be reported.
+    preset, seed:
+        Forwarded to every experiment.
+    jobs:
+        Worker processes; ``1`` (the default) runs serially in-process.
+    cache_dir:
+        Directory of the shared on-disk result cache; when neither ``cache_dir``
+        nor ``no_cache`` is given the run uses the caller's active session (so a
+        cache installed with :func:`~repro.runtime.session.configure_session`
+        is honored).
+    no_cache:
+        Disable result caching entirely.
+    """
+    preset = get_preset(preset)
+    started = time.perf_counter()
+    if no_cache:
+        session = RuntimeSession(cache=ResultCache.disabled())
+    elif cache_dir is not None:
+        session = RuntimeSession(cache=ResultCache(directory=cache_dir))
+    else:
+        session = current_session()
+    session_stats_before = session.stats().as_dict()
+    stats = RunStats()
+    mode = "serial"
+    plan = build_plan(names, preset, seed, session)
+    if jobs > 1 and not session.cache.persistent:
+        # Simulation jobs cannot hand results to sibling processes without a
+        # shared on-disk cache; run self-contained experiment jobs only.
+        plan = RunPlan(
+            simulations=[],
+            experiments=[
+                ExperimentJob(
+                    job_id=job.job_id,
+                    experiment=job.experiment,
+                    preset=job.preset,
+                    seed=job.seed,
+                )
+                for job in plan.experiments
+            ],
+            planned_hits=plan.planned_hits,
+        )
+
+    if jobs > 1:
+        try:
+            unordered = _run_parallel(plan, jobs, session, stats)
+            results = {name: unordered[name] for name in names}
+            mode = "parallel"
+        except concurrent.futures.BrokenExecutor:
+            # The platform cannot sustain a worker pool (spawn blocked, workers
+            # killed): degrade gracefully.  Genuine exceptions raised *by* an
+            # experiment or simulation propagate to the caller instead.
+            stats = RunStats()  # discard partial worker counters
+            results = _run_serial(names, preset, seed, session)
+            mode = "serial-fallback"
+    else:
+        results = _run_serial(names, preset, seed, session)
+
+    stats.merge(_stats_delta(session.stats().as_dict(), session_stats_before))
+    return RunReport(
+        results=results,
+        stats=stats,
+        preset=preset.name,
+        seed=seed,
+        jobs=jobs,
+        simulation_jobs=len(plan.simulations),
+        planned_cache_hits=plan.planned_hits,
+        elapsed_seconds=time.perf_counter() - started,
+        mode=mode,
+        cache_dir=str(session.cache.directory) if session.cache.directory else None,
+    )

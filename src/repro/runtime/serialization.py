@@ -1,0 +1,56 @@
+"""JSON payloads for the cycle-simulation result types.
+
+Cache entries and exported artifacts store :class:`NetworkResult` objects as
+plain JSON.  Floats survive the round trip exactly (``json`` emits shortest
+round-tripping ``repr`` values), which is what lets a cache hit reproduce a
+fresh simulation bit for bit.
+"""
+
+from __future__ import annotations
+
+from repro.core.accelerator import LayerResult, NetworkResult
+
+__all__ = ["network_result_to_dict", "network_result_from_dict"]
+
+
+def network_result_to_dict(result: NetworkResult) -> dict:
+    """Render a :class:`NetworkResult` as a JSON-serializable dict."""
+    return {
+        "network": result.network,
+        "accelerator": result.accelerator,
+        "layers": [
+            {
+                "layer_name": layer.layer_name,
+                "cycles": layer.cycles,
+                "baseline_cycles": layer.baseline_cycles,
+                "terms": layer.terms,
+                "baseline_terms": layer.baseline_terms,
+            }
+            for layer in result.layers
+        ],
+    }
+
+
+def network_result_from_dict(
+    payload: dict, accelerator: str | None = None
+) -> NetworkResult:
+    """Rebuild a :class:`NetworkResult` from its JSON payload.
+
+    ``accelerator`` overrides the stored display name: cache entries are keyed
+    ignoring labels, so the consumer's own label is restored on load.
+    """
+    layers = tuple(
+        LayerResult(
+            layer_name=layer["layer_name"],
+            cycles=float(layer["cycles"]),
+            baseline_cycles=float(layer["baseline_cycles"]),
+            terms=float(layer["terms"]),
+            baseline_terms=float(layer["baseline_terms"]),
+        )
+        for layer in payload["layers"]
+    )
+    return NetworkResult(
+        network=payload["network"],
+        accelerator=accelerator if accelerator is not None else payload["accelerator"],
+        layers=layers,
+    )

@@ -1,0 +1,141 @@
+"""The runtime session: cache + trace store + stats, and the active session.
+
+Experiments do not thread runtime handles through their signatures — they ask
+for :func:`current_session` and the runtime configures it once per process
+(the CLI at startup, the scheduler in each pool worker, tests through
+:func:`use_session`/:func:`isolated_session`).  The default session uses an
+in-memory cache, so importing ``repro`` and calling ``fig9.run()`` never
+touches the filesystem.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.sweep import SweepStats
+from repro.runtime.cache import CacheStats, ResultCache
+from repro.runtime.trace_store import TraceStore
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "RunStats",
+    "RuntimeSession",
+    "configure_session",
+    "current_session",
+    "isolated_session",
+    "use_session",
+]
+
+#: Default on-disk cache location of the CLI (overridable via the
+#: ``REPRO_CACHE_DIR`` environment variable or ``--cache-dir``).
+DEFAULT_CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR", "~/.cache/repro-pragmatic"))
+
+
+@dataclass
+class RunStats:
+    """Aggregate statistics of one run (merged across pool workers)."""
+
+    cache: CacheStats = field(default_factory=CacheStats)
+    sweep: SweepStats = field(default_factory=SweepStats)
+    traces_built: int = 0
+    traces_reused: int = 0
+
+    def merge(self, other: "RunStats | dict") -> None:
+        if isinstance(other, RunStats):
+            other = other.as_dict()
+        self.cache.merge(other.get("cache", {}))
+        self.sweep.merge(other.get("sweep", {}))
+        self.traces_built += other.get("traces_built", 0)
+        self.traces_reused += other.get("traces_reused", 0)
+
+    def as_dict(self) -> dict:
+        return {
+            "cache": self.cache.as_dict(),
+            "sweep": self.sweep.as_dict(),
+            "traces_built": self.traces_built,
+            "traces_reused": self.traces_reused,
+        }
+
+    def summary(self) -> str:
+        """One-line, human-readable rendering for run summaries."""
+        return (
+            f"cache {self.cache.hits} hits / {self.cache.misses} misses / "
+            f"{self.cache.stores} stores / {self.cache.errors} errors; "
+            f"simulated {self.sweep.configs_simulated} configs "
+            f"({self.sweep.drain_groups_computed} drain groups); "
+            f"traces {self.traces_built} built / {self.traces_reused} reused"
+        )
+
+
+class RuntimeSession:
+    """Shared state of one experiment-execution session."""
+
+    def __init__(self, cache: ResultCache | None = None, traces: TraceStore | None = None) -> None:
+        self.cache = cache if cache is not None else ResultCache()
+        self.traces = traces if traces is not None else TraceStore()
+        self.sweep_stats = SweepStats()
+
+    def trace(self, spec) -> object:
+        """The calibrated trace for ``spec``, via the shared store."""
+        return self.traces.get(spec)
+
+    def stats(self) -> RunStats:
+        """Snapshot of this session's counters."""
+        stats = RunStats()
+        stats.cache.merge(self.cache.stats)
+        stats.sweep.merge(self.sweep_stats)
+        stats.traces_built = self.traces.builds
+        stats.traces_reused = self.traces.reuses
+        return stats
+
+
+#: The process-wide active session (memory-cached by default).
+_ACTIVE = RuntimeSession()
+
+
+def current_session() -> RuntimeSession:
+    """The active session of this process."""
+    return _ACTIVE
+
+
+def configure_session(
+    cache_dir: str | Path | None = None, no_cache: bool = False
+) -> RuntimeSession:
+    """Install (and return) a fresh active session for this process.
+
+    ``cache_dir`` selects the shared on-disk cache; ``None`` keeps the cache
+    in memory.  ``no_cache`` disables caching entirely.
+    """
+    global _ACTIVE
+    if no_cache:
+        cache = ResultCache.disabled()
+    else:
+        cache = ResultCache(directory=cache_dir)
+    _ACTIVE = RuntimeSession(cache=cache)
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def use_session(session: RuntimeSession):
+    """Temporarily make ``session`` the active session."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = session
+    try:
+        yield session
+    finally:
+        _ACTIVE = previous
+
+
+@contextlib.contextmanager
+def isolated_session():
+    """A fresh memory-only session, isolated from all prior runtime state.
+
+    Benchmarks use this so each measured experiment pays its full cost instead
+    of reusing simulations a previous benchmark left in the session cache.
+    """
+    with use_session(RuntimeSession()) as session:
+        yield session

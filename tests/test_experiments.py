@@ -2,8 +2,16 @@
 
 import pytest
 
+import json
+
 from repro.experiments import runner
-from repro.experiments.base import PRESETS, ExperimentResult, Preset, get_preset
+from repro.experiments.base import (
+    PRESETS,
+    ExperimentResult,
+    Preset,
+    export_results,
+    get_preset,
+)
 from repro.experiments import table3, table4
 
 #: Tiny preset used to exercise the trace/cycle experiments quickly.
@@ -53,11 +61,61 @@ class TestRegistry:
         with pytest.raises(SystemExit):
             runner.main([])
 
-    def test_cli_runs_single_experiment(self, capsys):
-        assert runner.main(["--experiment", "table3", "--preset", "smoke"]) == 0
+    def test_cli_runs_single_experiment(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        argv = ["--experiment", "table3", "--preset", "smoke", "--cache-dir", cache]
+        assert runner.main(argv) == 0
         output = capsys.readouterr().out
         assert "Table III" in output
         assert "PRA-2b" in output
+        assert "== run summary ==" in output
+
+    def test_cli_lists_experiments(self, capsys):
+        assert runner.main(["--list"]) == 0
+        output = capsys.readouterr().out
+        for name in runner.EXPERIMENTS:
+            assert name in output
+        assert "Table V" in output  # descriptions come from module docstrings
+
+    def test_cli_rejects_bad_jobs(self):
+        with pytest.raises(SystemExit):
+            runner.main(["--experiment", "table3", "--jobs", "0"])
+
+    def test_cli_exports_artifacts(self, capsys, tmp_path):
+        out = tmp_path / "artifacts"
+        argv = [
+            "--experiment",
+            "table3",
+            "--preset",
+            "smoke",
+            "--no-cache",
+            "--out",
+            str(out),
+        ]
+        assert runner.main(argv) == 0
+        payload = json.loads((out / "table3.json").read_text())
+        assert payload["experiment"] == "table3"
+        assert payload["headers"][0] == "design"
+
+    def test_module_alias_exposes_main(self):
+        import repro.__main__ as alias
+
+        assert alias.main is runner.main
+
+
+class TestArtifacts:
+    def test_result_json_round_trip(self):
+        result = table3.run(preset="smoke")
+        rebuilt = ExperimentResult.from_dict(json.loads(result.to_json()))
+        assert rebuilt == result
+
+    def test_export_results_writes_one_file_per_experiment(self, tmp_path):
+        result = table3.run(preset="smoke")
+        paths = export_results({"table3": result}, tmp_path)
+        assert [path.name for path in paths] == ["table3.json"]
+        assert json.loads(paths[0].read_text())["metadata"]["DaDN:chip_w"] == pytest.approx(
+            result.metadata["DaDN:chip_w"]
+        )
 
 
 class TestEnergyTables:

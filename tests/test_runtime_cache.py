@@ -1,0 +1,130 @@
+"""Tests for the content-addressed result cache and the trace store."""
+
+import json
+
+import pytest
+
+from repro.arch.tiling import SamplingConfig
+from repro.core.variants import pallet_variant
+from repro.runtime.cache import ResultCache
+from repro.runtime.engine import SimulationRequest, simulate
+from repro.runtime.session import RuntimeSession
+from repro.runtime.trace_store import TraceSpec, TraceStore
+
+PAYLOAD = {"network": "alexnet", "accelerator": "x", "layers": []}
+
+
+class TestMemoryCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        assert cache.get("k") is None
+        cache.put("k", PAYLOAD)
+        assert cache.get("k") == PAYLOAD
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+
+    def test_disabled_cache_never_hits(self):
+        cache = ResultCache.disabled()
+        cache.put("k", PAYLOAD)
+        assert cache.get("k") is None
+        assert not cache.persistent
+        assert len(cache) == 0
+
+
+class TestDiskCache:
+    def test_entries_survive_across_instances(self, tmp_path):
+        first = ResultCache(directory=tmp_path)
+        first.put("deadbeef", PAYLOAD)
+        second = ResultCache(directory=tmp_path)
+        assert second.get("deadbeef") == PAYLOAD
+        assert second.stats.hits == 1
+        assert len(second) == 1
+
+    def test_contains_does_not_touch_stats(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        cache.put("k", PAYLOAD)
+        fresh = ResultCache(directory=tmp_path)
+        assert fresh.contains("k")
+        assert not fresh.contains("missing")
+        assert fresh.stats.hits == 0
+        assert fresh.stats.misses == 0
+
+    @pytest.mark.parametrize(
+        "garbage",
+        ["not json at all", "[]", '{"schema": 99, "kind": "network_result", "payload": {}}'],
+    )
+    def test_corrupted_entries_recover_as_misses(self, tmp_path, garbage):
+        cache = ResultCache(directory=tmp_path)
+        cache.put("k", PAYLOAD)
+        path = tmp_path / "k.json"
+        path.write_text(garbage)
+        fresh = ResultCache(directory=tmp_path)
+        assert fresh.get("k") is None
+        assert fresh.stats.errors == 1
+        assert fresh.stats.misses == 1
+        assert not path.exists()  # the bad entry was dropped
+
+    def test_kind_mismatch_is_corruption(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        cache.put("k", PAYLOAD, kind="other_kind")
+        fresh = ResultCache(directory=tmp_path)
+        assert fresh.get("k", kind="network_result") is None
+        assert fresh.stats.errors == 1
+
+    def test_unwritable_directory_degrades_to_memory(self, tmp_path):
+        cache = ResultCache(directory=tmp_path / "c")
+        # Make writes fail by replacing the cache directory with a file.
+        (tmp_path / "c").rmdir()
+        (tmp_path / "c").write_text("not a directory")
+        cache.put("k", PAYLOAD)
+        assert cache.stats.errors == 1
+        assert cache.get("k") == PAYLOAD  # memory copy still serves this process
+
+    def test_entries_are_valid_json_documents(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        cache.put("k", PAYLOAD)
+        entry = json.loads((tmp_path / "k.json").read_text())
+        assert entry["key"] == "k"
+        assert entry["payload"] == PAYLOAD
+
+
+class TestTraceStore:
+    def test_builds_each_spec_once(self):
+        store = TraceStore()
+        spec = TraceSpec(network="alexnet", seed=3)
+        first = store.get(spec)
+        second = store.get(spec)
+        assert first is second
+        assert store.builds == 1
+        assert store.reuses == 1
+
+    def test_distinct_specs_build_distinct_traces(self):
+        store = TraceStore()
+        a = store.get(TraceSpec(network="alexnet", seed=3))
+        b = store.get(TraceSpec(network="alexnet", seed=4))
+        assert a is not b
+        assert store.builds == 2
+
+
+class TestCorruptionEndToEnd:
+    def test_simulate_recovers_from_a_corrupted_entry(self, tmp_path):
+        request = SimulationRequest(
+            trace=TraceSpec(network="alexnet", seed=0),
+            configs=(("PRA-2b", pallet_variant(2)),),
+            sampling=SamplingConfig(max_pallets=1, seed=0),
+        )
+        session = RuntimeSession(cache=ResultCache(directory=tmp_path))
+        reference = simulate(request, session=session)["PRA-2b"]
+        (key,) = request.keys().values()
+        (tmp_path / f"{key}.json").write_text("{truncated")
+
+        recovered_session = RuntimeSession(cache=ResultCache(directory=tmp_path))
+        recovered = simulate(request, session=recovered_session)["PRA-2b"]
+        assert recovered == reference
+        assert recovered_session.cache.stats.errors == 1
+        assert recovered_session.sweep_stats.configs_simulated == 1
+        # The recomputed entry was re-stored and is valid again.
+        final_session = RuntimeSession(cache=ResultCache(directory=tmp_path))
+        assert simulate(request, session=final_session)["PRA-2b"] == reference
+        assert final_session.sweep_stats.configs_simulated == 0

@@ -1,0 +1,77 @@
+"""Tests for the runtime cache-key fingerprints."""
+
+import pytest
+
+from repro.arch.tiling import SamplingConfig
+from repro.core.variants import pallet_variant, single_stage_variant
+from repro.runtime.fingerprint import (
+    canonicalize,
+    code_fingerprint,
+    fingerprint,
+    simulation_key,
+)
+from repro.runtime.trace_store import TraceSpec
+
+
+class TestCanonicalize:
+    def test_primitives_pass_through(self):
+        assert canonicalize(3) == 3
+        assert canonicalize("x") == "x"
+        assert canonicalize(None) is None
+        assert canonicalize(1.5) == 1.5
+
+    def test_dataclasses_render_with_type_name(self):
+        rendered = canonicalize(SamplingConfig(max_pallets=2, seed=7))
+        assert rendered[0] == "SamplingConfig"
+        assert rendered[1]["max_pallets"] == 2
+        assert rendered[1]["seed"] == 7
+
+    def test_mappings_are_order_insensitive(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_unknown_types_are_rejected(self):
+        with pytest.raises(TypeError):
+            fingerprint(object())
+
+
+class TestSimulationKey:
+    SPEC = TraceSpec(network="alexnet", seed=0)
+    SAMPLING = SamplingConfig(max_pallets=2, seed=0)
+
+    def test_stable_across_calls(self):
+        config = pallet_variant(2)
+        assert simulation_key(self.SPEC, self.SAMPLING, config) == simulation_key(
+            self.SPEC, self.SAMPLING, config
+        )
+
+    def test_label_is_excluded(self):
+        # PRAsingle is pallet_variant(4) under a different display label; both
+        # must address the same cache entry.
+        assert simulation_key(self.SPEC, self.SAMPLING, pallet_variant(4)) == simulation_key(
+            self.SPEC, self.SAMPLING, single_stage_variant()
+        )
+
+    def test_config_changes_change_the_key(self):
+        base = simulation_key(self.SPEC, self.SAMPLING, pallet_variant(2))
+        assert base != simulation_key(self.SPEC, self.SAMPLING, pallet_variant(3))
+        assert base != simulation_key(
+            self.SPEC, self.SAMPLING, pallet_variant(2, software_trimming=False)
+        )
+
+    def test_sampling_changes_change_the_key(self):
+        base = simulation_key(self.SPEC, self.SAMPLING, pallet_variant(2))
+        wider = SamplingConfig(max_pallets=4, seed=0)
+        assert base != simulation_key(self.SPEC, wider, pallet_variant(2))
+
+    def test_trace_spec_changes_change_the_key(self):
+        base = simulation_key(self.SPEC, self.SAMPLING, pallet_variant(2))
+        other_seed = TraceSpec(network="alexnet", seed=1)
+        other_net = TraceSpec(network="vgg_m", seed=0)
+        assert base != simulation_key(other_seed, self.SAMPLING, pallet_variant(2))
+        assert base != simulation_key(other_net, self.SAMPLING, pallet_variant(2))
+
+
+class TestCodeFingerprint:
+    def test_is_cached_and_stable(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 64
