@@ -1,6 +1,23 @@
-"""``python -m repro`` — alias for the experiment runner CLI."""
+"""``python -m repro`` — command-line entry points.
 
-from repro.experiments.runner import main
+``python -m repro serve ...`` starts the async serving front-end
+(:mod:`repro.serve.cli`); anything else is the batch experiment runner CLI
+(:mod:`repro.experiments.runner`).
+"""
+
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(argv[1:])
+    from repro.experiments.runner import main as runner_main
+
+    return runner_main(argv)
+
 
 if __name__ == "__main__":
     raise SystemExit(main())

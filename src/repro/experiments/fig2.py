@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from repro.analysis.potential import FIG2_ENGINES, fig2_table
+from repro.analysis.potential import FIG2_ENGINES
 from repro.analysis.speedup import geometric_mean
 from repro.analysis.tables import format_percent
 from repro.experiments.base import ExperimentResult, Preset, get_preset
+from repro.runtime import StatisticsRequest, TraceSpec, analyze
 
-__all__ = ["run", "PAPER_AVERAGES"]
+__all__ = ["run", "plan", "PAPER_AVERAGES"]
 
 #: Average relative term counts the paper reports in Section II-B.
 PAPER_AVERAGES: dict[str, float] = {
@@ -19,24 +20,36 @@ PAPER_AVERAGES: dict[str, float] = {
 }
 
 
+def plan(preset: str | Preset = "fast", seed: int = 0) -> list[StatisticsRequest]:
+    """The per-network statistics passes this experiment needs."""
+    config = get_preset(preset)
+    return [
+        StatisticsRequest(
+            statistic="fig2_terms",
+            trace=TraceSpec(network=name, representation="fixed16", seed=seed),
+            samples_per_layer=config.samples_per_layer,
+        )
+        for name in config.networks
+    ]
+
+
 def run(preset: str | Preset = "fast", seed: int = 0) -> ExperimentResult:
     """Reproduce Figure 2: relative number of terms vs the DaDN baseline."""
     config = get_preset(preset)
-    entries = fig2_table(
-        networks=config.networks, samples_per_layer=config.samples_per_layer, seed=seed
-    )
+    entries = [analyze(request) for request in plan(config, seed)]
     headers = ["network", *FIG2_ENGINES]
     rows: list[list[object]] = []
     metadata: dict[str, float] = {}
     for entry in entries:
+        network = entry["network"]
+        terms = entry["relative_terms"]
         rows.append(
-            [entry.network]
-            + [format_percent(entry.relative(engine)) for engine in FIG2_ENGINES]
+            [network] + [format_percent(terms[engine]) for engine in FIG2_ENGINES]
         )
         for engine in FIG2_ENGINES:
-            metadata[f"{entry.network}:{engine}"] = entry.relative(engine)
+            metadata[f"{network}:{engine}"] = terms[engine]
     averages = {
-        engine: geometric_mean(entry.relative(engine) for entry in entries)
+        engine: geometric_mean(entry["relative_terms"][engine] for entry in entries)
         for engine in FIG2_ENGINES
     }
     rows.append(["geomean", *[format_percent(averages[engine]) for engine in FIG2_ENGINES]])

@@ -2,16 +2,30 @@
 
 from __future__ import annotations
 
-from repro.analysis.essential_bits import essential_bit_table
 from repro.analysis.tables import format_percent
 from repro.experiments.base import ExperimentResult, Preset, get_preset
+from repro.nn.calibration import REPRESENTATIONS, TABLE1_TARGETS
+from repro.runtime import StatisticsRequest, TraceSpec, analyze
 
-__all__ = ["run"]
+__all__ = ["run", "plan"]
+
+
+def plan(preset: str | Preset = "fast", seed: int = 0) -> list[StatisticsRequest]:
+    """The per-network statistics passes this experiment needs."""
+    config = get_preset(preset)
+    return [
+        StatisticsRequest(
+            statistic="essential_bits",
+            trace=TraceSpec(network=name, representation=representation, seed=seed),
+            samples_per_layer=config.samples_per_layer,
+        )
+        for representation in REPRESENTATIONS
+        for name in config.networks
+    ]
 
 
 def run(preset: str | Preset = "fast", seed: int = 0) -> ExperimentResult:
     """Reproduce Table I for both storage representations."""
-    config = get_preset(preset)
     headers = [
         "network",
         "representation",
@@ -22,30 +36,25 @@ def run(preset: str | Preset = "fast", seed: int = 0) -> ExperimentResult:
     ]
     rows: list[list[object]] = []
     metadata: dict[str, float] = {}
-    for representation in ("fixed16", "quant8"):
-        entries = essential_bit_table(
-            representation=representation,
-            networks=config.networks,
-            samples_per_layer=config.samples_per_layer,
-            seed=seed,
+    for request in plan(preset, seed):
+        representation = request.trace.representation
+        targets = TABLE1_TARGETS.get(representation, {"all": {}, "nz": {}})
+        entry = analyze(request)
+        network = entry["network"]
+        paper_all = targets["all"].get(network)
+        paper_nz = targets["nz"].get(network)
+        rows.append(
+            [
+                network,
+                representation,
+                format_percent(entry["all"]),
+                format_percent(paper_all) if paper_all is not None else "-",
+                format_percent(entry["nz"]),
+                format_percent(paper_nz) if paper_nz is not None else "-",
+            ]
         )
-        for entry in entries:
-            rows.append(
-                [
-                    entry.network,
-                    representation,
-                    format_percent(entry.all_fraction),
-                    format_percent(entry.paper_all_fraction)
-                    if entry.paper_all_fraction is not None
-                    else "-",
-                    format_percent(entry.nonzero_fraction),
-                    format_percent(entry.paper_nonzero_fraction)
-                    if entry.paper_nonzero_fraction is not None
-                    else "-",
-                ]
-            )
-            metadata[f"{representation}:{entry.network}:all"] = entry.all_fraction
-            metadata[f"{representation}:{entry.network}:nz"] = entry.nonzero_fraction
+        metadata[f"{representation}:{network}:all"] = entry["all"]
+        metadata[f"{representation}:{network}:nz"] = entry["nz"]
     notes = (
         "Synthetic traces are calibrated against the paper's NZ statistic for each\n"
         "representation (DESIGN.md §4); the All column follows from the calibrated\n"

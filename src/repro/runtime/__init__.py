@@ -15,15 +15,30 @@ Layering::
     cache         content-addressed result cache (memory / disk / disabled)
     trace_store   TraceSpec + per-session calibrated-trace store
     session       RuntimeSession (cache + traces + stats) and the active session
-    engine        simulate(): cached sweep execution against the session
+    engine        simulate()/analyze(): cached execution against the session
     jobs          job model and run planning (dedup across experiments)
     scheduler     process-pool execution, serial fallback, run reports
+
+The job model, cache-key scheme and session semantics are documented in
+``docs/runtime.md``; :mod:`repro.serve` builds the async serving front-end on
+top of this package.
 """
 
 from repro.runtime.cache import CacheStats, ResultCache
-from repro.runtime.engine import SimulationRequest, simulate
-from repro.runtime.fingerprint import code_fingerprint, fingerprint, simulation_key
-from repro.runtime.jobs import ExperimentJob, RunPlan, SimulationJob, build_plan
+from repro.runtime.engine import SimulationRequest, StatisticsRequest, analyze, simulate
+from repro.runtime.fingerprint import (
+    code_fingerprint,
+    fingerprint,
+    simulation_key,
+    statistics_key,
+)
+from repro.runtime.jobs import (
+    ExperimentJob,
+    RunPlan,
+    SimulationJob,
+    StatisticsJob,
+    build_plan,
+)
 from repro.runtime.scheduler import RunReport, run_experiments
 from repro.runtime.session import (
     RunStats,
@@ -39,13 +54,17 @@ __all__ = [
     "CacheStats",
     "ResultCache",
     "SimulationRequest",
+    "StatisticsRequest",
+    "analyze",
     "simulate",
     "code_fingerprint",
     "fingerprint",
     "simulation_key",
+    "statistics_key",
     "ExperimentJob",
     "RunPlan",
     "SimulationJob",
+    "StatisticsJob",
     "build_plan",
     "RunReport",
     "run_experiments",

@@ -13,7 +13,8 @@ One :class:`ResultCache` stores JSON payloads under fingerprint keys (see
 
 Corrupted entries (truncated writes, manual edits, schema drift) are treated
 as misses: the entry is deleted, ``stats.errors`` is incremented and the
-caller recomputes.
+caller recomputes.  The key scheme the cache is addressed by is documented in
+``docs/runtime.md``.
 """
 
 from __future__ import annotations

@@ -14,7 +14,8 @@ Fingerprints are SHA-256 hex digests of a canonical JSON rendering.  The code
 version component hashes the source of every package whose code determines the
 simulated numbers (``core``, ``nn``, ``arch``, ``baselines``, ``numerics``);
 editing the runtime or an experiment's presentation logic intentionally does
-not invalidate cached simulations.
+not invalidate cached simulations.  ``docs/runtime.md`` documents the full
+key scheme and this invalidation rule.
 """
 
 from __future__ import annotations
@@ -25,7 +26,14 @@ import hashlib
 import json
 from pathlib import Path
 
-__all__ = ["canonicalize", "fingerprint", "code_fingerprint", "simulation_key"]
+__all__ = [
+    "canonicalize",
+    "fingerprint",
+    "code_fingerprint",
+    "statistics_code_fingerprint",
+    "simulation_key",
+    "statistics_key",
+]
 
 #: Bump to invalidate every existing cache entry on a schema change.
 CACHE_SCHEMA_VERSION = 1
@@ -33,6 +41,10 @@ CACHE_SCHEMA_VERSION = 1
 #: Subpackages whose source participates in the code fingerprint — exactly the
 #: ones the cycle simulations execute.
 _CODE_PACKAGES = ("core", "nn", "arch", "baselines", "numerics")
+
+#: Statistics passes additionally execute the analysis helpers, so their keys
+#: must also be invalidated by ``analysis`` edits.
+_STATISTICS_PACKAGES = _CODE_PACKAGES + ("analysis",)
 
 
 def canonicalize(obj: object) -> object:
@@ -67,19 +79,35 @@ def fingerprint(obj: object) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-@functools.lru_cache(maxsize=1)
-def code_fingerprint() -> str:
-    """Fingerprint of the package version plus the simulation source code."""
+@functools.lru_cache(maxsize=4)
+def _package_fingerprint(packages: tuple[str, ...]) -> str:
+    """Fingerprint of the package version plus the given subpackages' source."""
     import repro
 
     digest = hashlib.sha256()
     digest.update(f"schema={CACHE_SCHEMA_VERSION};version={repro.__version__};".encode())
     root = Path(repro.__file__).resolve().parent
-    for package in _CODE_PACKAGES:
+    for package in packages:
         for source in sorted((root / package).glob("*.py")):
             digest.update(source.name.encode())
             digest.update(source.read_bytes())
     return digest.hexdigest()
+
+
+def code_fingerprint() -> str:
+    """Fingerprint of the simulation source code (see module docstring)."""
+    return _package_fingerprint(_CODE_PACKAGES)
+
+
+def statistics_code_fingerprint() -> str:
+    """Like :func:`code_fingerprint`, but also covering ``analysis``.
+
+    The statistics passes cached by :func:`repro.runtime.engine.analyze`
+    execute `repro.analysis` code, so editing the analysis helpers must
+    invalidate statistics entries (while still leaving cached cycle
+    simulations valid).
+    """
+    return _package_fingerprint(_STATISTICS_PACKAGES)
 
 
 def simulation_key(trace_spec: object, sampling: object, config: object) -> str:
@@ -99,5 +127,24 @@ def simulation_key(trace_spec: object, sampling: object, config: object) -> str:
             "trace": canonicalize(trace_spec),
             "sampling": canonicalize(sampling),
             "config": canonicalize(config),
+        }
+    )
+
+
+def statistics_key(statistic: str, trace_spec: object, samples_per_layer: int) -> str:
+    """Cache key of one per-network statistics pass (fig2/fig3/table1).
+
+    Statistics entries live in the same content-addressed cache as simulation
+    results but under their own ``kind`` namespace; the key covers the
+    statistic's identity, the trace it measures, the sample budget, and the
+    code fingerprint.
+    """
+    return fingerprint(
+        {
+            "kind": "statistics",
+            "statistic": statistic,
+            "code": statistics_code_fingerprint(),
+            "trace": canonicalize(trace_spec),
+            "samples_per_layer": samples_per_layer,
         }
     )

@@ -5,14 +5,18 @@ A run of ``N`` experiments becomes a two-level dependency graph:
 * **simulation jobs** — one per distinct ``(network trace spec, sampling,
   config-group)`` the run needs, *deduplicated across experiments* and pruned
   against the cache.  Each simulation job populates the shared cache.
-* **experiment jobs** — one per experiment, depending on the simulation jobs
-  that produce its inputs.  When an experiment job runs, its simulations are
-  warm cache hits, so the job itself is cheap presentation logic.
+* **statistics jobs** — one per distinct ``(statistic, trace spec, samples)``
+  pass a motivation experiment (Table I, Figures 2/3) needs, deduplicated and
+  cache-pruned the same way.
+* **experiment jobs** — one per experiment, depending on the simulation and
+  statistics jobs that produce its inputs.  When an experiment job runs, its
+  inputs are warm cache hits, so the job itself is cheap presentation logic.
 
-Experiments declare their simulation needs through an optional module-level
-``plan(preset, seed) -> list[SimulationRequest]`` hook; experiments without
-one (the analytic tables, the statistics figures) simply have no simulation
-dependencies and parallelize at the experiment level.
+Experiments declare their input needs through an optional module-level
+``plan(preset, seed) -> list[SimulationRequest | StatisticsRequest]`` hook;
+experiments without one (the analytic tables) simply have no dependencies and
+parallelize at the experiment level.  ``docs/runtime.md`` documents the job
+model and its cache-key scheme.
 """
 
 from __future__ import annotations
@@ -21,11 +25,18 @@ import sys
 from dataclasses import dataclass, field
 
 from repro.experiments.base import Preset, get_preset
-from repro.runtime.engine import SimulationRequest
+from repro.runtime.engine import SimulationRequest, StatisticsRequest
 from repro.runtime.fingerprint import fingerprint, simulation_key
 from repro.runtime.session import RuntimeSession
 
-__all__ = ["SimulationJob", "ExperimentJob", "RunPlan", "experiment_plan", "build_plan"]
+__all__ = [
+    "SimulationJob",
+    "StatisticsJob",
+    "ExperimentJob",
+    "RunPlan",
+    "experiment_plan",
+    "build_plan",
+]
 
 
 @dataclass(frozen=True)
@@ -34,6 +45,15 @@ class SimulationJob:
 
     job_id: str
     request: SimulationRequest
+    deps: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class StatisticsJob:
+    """One schedulable per-network statistics pass (no dependencies)."""
+
+    job_id: str
+    request: StatisticsRequest
     deps: tuple[str, ...] = ()
 
 
@@ -53,17 +73,20 @@ class RunPlan:
     """The dependency graph of one run."""
 
     simulations: list[SimulationJob] = field(default_factory=list)
+    statistics: list[StatisticsJob] = field(default_factory=list)
     experiments: list[ExperimentJob] = field(default_factory=list)
-    #: Simulation units satisfied by the cache at planning time.
+    #: Simulation/statistics units satisfied by the cache at planning time.
     planned_hits: int = 0
 
-    def jobs(self) -> list[SimulationJob | ExperimentJob]:
+    def jobs(self) -> list[SimulationJob | StatisticsJob | ExperimentJob]:
         """All jobs, dependencies before dependents."""
-        return [*self.simulations, *self.experiments]
+        return [*self.simulations, *self.statistics, *self.experiments]
 
 
-def experiment_plan(name: str, preset: Preset, seed: int) -> list[SimulationRequest]:
-    """The simulation requests experiment ``name`` declares, if any."""
+def experiment_plan(
+    name: str, preset: Preset, seed: int
+) -> list[SimulationRequest | StatisticsRequest]:
+    """The simulation/statistics requests experiment ``name`` declares, if any."""
     from repro.experiments.runner import EXPERIMENTS
 
     run = EXPERIMENTS[name]
@@ -91,10 +114,21 @@ def build_plan(
     plan = RunPlan()
     # (trace, sampling) fingerprint -> merged request state.
     groups: dict[str, dict] = {}
+    # statistics job id -> StatisticsJob (deduplicated across experiments).
+    stat_jobs: dict[str, StatisticsJob] = {}
 
     for name in names:
         deps: list[str] = []
         for request in experiment_plan(name, preset, seed):
+            if isinstance(request, StatisticsRequest):
+                stat_key = request.key()
+                if session.cache.contains(stat_key, kind="statistics"):
+                    plan.planned_hits += 1
+                    continue
+                job_id = f"stat:{stat_key}"
+                stat_jobs.setdefault(job_id, StatisticsJob(job_id=job_id, request=request))
+                deps.append(job_id)
+                continue
             group_key = fingerprint({"trace": request.trace, "sampling": request.sampling})
             group = groups.setdefault(
                 group_key,
@@ -126,6 +160,7 @@ def build_plan(
             )
         )
 
+    plan.statistics = list(stat_jobs.values())
     for group_key, group in groups.items():
         if not group["configs"]:
             continue

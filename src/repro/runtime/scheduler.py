@@ -15,6 +15,9 @@ Fallbacks keep the engine dependable everywhere:
   degrades to experiment-level parallelism with self-contained jobs;
 * if the platform cannot create a process pool at all, the run silently
   degrades to serial execution and says so in the report.
+
+``docs/runtime.md`` describes the scheduler's place in the job model;
+``docs/architecture.md`` walks a request through the whole stack.
 """
 
 from __future__ import annotations
@@ -28,8 +31,14 @@ from pathlib import Path
 from repro.core.sweep import SweepStats
 from repro.experiments.base import ExperimentResult, Preset, get_preset
 from repro.runtime.cache import CacheStats
-from repro.runtime.engine import simulate
-from repro.runtime.jobs import ExperimentJob, RunPlan, SimulationJob, build_plan
+from repro.runtime.engine import analyze, simulate
+from repro.runtime.jobs import (
+    ExperimentJob,
+    RunPlan,
+    SimulationJob,
+    StatisticsJob,
+    build_plan,
+)
 from repro.runtime.session import (
     RunStats,
     RuntimeSession,
@@ -56,6 +65,7 @@ class RunReport:
     elapsed_seconds: float
     mode: str  # "parallel" | "serial" | "serial-fallback"
     cache_dir: str | None = None
+    statistics_jobs: int = 0
 
     def summary(self) -> str:
         """Multi-line, human-readable run summary (printed by the CLI)."""
@@ -64,6 +74,7 @@ class RunReport:
             f"experiments: {len(self.results)}  preset: {self.preset}  seed: {self.seed}",
             f"mode: {self.mode}  jobs: {self.jobs}  "
             f"simulation jobs: {self.simulation_jobs}  "
+            f"statistics jobs: {self.statistics_jobs}  "
             f"planned cache hits: {self.planned_cache_hits}",
             f"{self.stats.summary()}",
             f"cache dir: {self.cache_dir or '(memory only)'}",
@@ -86,13 +97,17 @@ def _reset_job_stats(session: RuntimeSession) -> None:
     session.traces.reuses = 0
 
 
-def _execute_job(job: SimulationJob | ExperimentJob) -> tuple[str, ExperimentResult | None, dict]:
+def _execute_job(
+    job: SimulationJob | StatisticsJob | ExperimentJob,
+) -> tuple[str, ExperimentResult | None, dict]:
     """Run one job in the worker's session; returns (job id, result, stats delta)."""
     session = current_session()
     _reset_job_stats(session)
     result: ExperimentResult | None = None
     if isinstance(job, SimulationJob):
         simulate(job.request, session=session)
+    elif isinstance(job, StatisticsJob):
+        analyze(job.request, session=session)
     else:
         from repro.experiments.runner import run_experiment
 
@@ -217,10 +232,11 @@ def run_experiments(
     mode = "serial"
     plan = build_plan(names, preset, seed, session)
     if jobs > 1 and not session.cache.persistent:
-        # Simulation jobs cannot hand results to sibling processes without a
-        # shared on-disk cache; run self-contained experiment jobs only.
+        # Simulation/statistics jobs cannot hand results to sibling processes
+        # without a shared on-disk cache; run self-contained experiment jobs only.
         plan = RunPlan(
             simulations=[],
+            statistics=[],
             experiments=[
                 ExperimentJob(
                     job_id=job.job_id,
@@ -260,4 +276,5 @@ def run_experiments(
         elapsed_seconds=time.perf_counter() - started,
         mode=mode,
         cache_dir=str(session.cache.directory) if session.cache.directory else None,
+        statistics_jobs=len(plan.statistics),
     )

@@ -3,7 +3,7 @@
 Cache entries and exported artifacts store :class:`NetworkResult` objects as
 plain JSON.  Floats survive the round trip exactly (``json`` emits shortest
 round-tripping ``repr`` values), which is what lets a cache hit reproduce a
-fresh simulation bit for bit.
+fresh simulation bit for bit (entry layout: ``docs/runtime.md``).
 """
 
 from __future__ import annotations

@@ -6,12 +6,20 @@ for :func:`current_session` and the runtime configures it once per process
 :func:`use_session`/:func:`isolated_session`).  The default session uses an
 in-memory cache, so importing ``repro`` and calling ``fig9.run()`` never
 touches the filesystem.
+
+Session activation is *thread-scoped*: :func:`use_session` installs a session
+on the calling thread only, while :func:`configure_session` replaces the
+process-wide default every thread falls back to.  This is what lets the serve
+layer (:mod:`repro.serve`) execute concurrent jobs on worker threads, each
+under its own per-request stats view of one shared session.  See
+``docs/runtime.md`` for the full session model.
 """
 
 from __future__ import annotations
 
 import contextlib
 import os
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -92,42 +100,54 @@ class RuntimeSession:
         return stats
 
 
-#: The process-wide active session (memory-cached by default).
-_ACTIVE = RuntimeSession()
+#: The process-wide default session (memory-cached); threads without an
+#: explicit :func:`use_session` override fall back to it.
+_DEFAULT = RuntimeSession()
+
+#: Per-thread stack of :func:`use_session` overrides.
+_LOCAL = threading.local()
 
 
 def current_session() -> RuntimeSession:
-    """The active session of this process."""
-    return _ACTIVE
+    """The active session: this thread's override, or the process default."""
+    stack = getattr(_LOCAL, "stack", None)
+    if stack:
+        return stack[-1]
+    return _DEFAULT
 
 
 def configure_session(
     cache_dir: str | Path | None = None, no_cache: bool = False
 ) -> RuntimeSession:
-    """Install (and return) a fresh active session for this process.
+    """Install (and return) a fresh process-wide default session.
 
     ``cache_dir`` selects the shared on-disk cache; ``None`` keeps the cache
     in memory.  ``no_cache`` disables caching entirely.
     """
-    global _ACTIVE
+    global _DEFAULT
     if no_cache:
         cache = ResultCache.disabled()
     else:
         cache = ResultCache(directory=cache_dir)
-    _ACTIVE = RuntimeSession(cache=cache)
-    return _ACTIVE
+    _DEFAULT = RuntimeSession(cache=cache)
+    return _DEFAULT
 
 
 @contextlib.contextmanager
 def use_session(session: RuntimeSession):
-    """Temporarily make ``session`` the active session."""
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = session
+    """Temporarily make ``session`` the active session *for this thread*.
+
+    Overrides nest; concurrent threads (the serve worker pool) can each hold
+    a different active session without interfering.
+    """
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = _LOCAL.stack = []
+    stack.append(session)
     try:
         yield session
     finally:
-        _ACTIVE = previous
+        stack.pop()
 
 
 @contextlib.contextmanager

@@ -5,7 +5,8 @@ trace — everything :func:`repro.nn.calibration.calibrated_trace` needs, as a
 hashable value object.  Being declarative makes it both the cache-key
 component for simulations over the trace and the memoization key of the
 :class:`TraceStore`, which guarantees each network's trace is materialized
-once per session no matter how many experiments consume it.
+once per session no matter how many experiments consume it.  See
+``docs/runtime.md`` for how traces fit the session and cache-key model.
 """
 
 from __future__ import annotations
@@ -63,21 +64,35 @@ class TraceStore:
         self.builds = 0
         self.reuses = 0
 
+    def known(self, spec: TraceSpec) -> bool:
+        """Whether ``spec``'s trace is already materialized in this store."""
+        with self._lock:
+            return spec in self._traces
+
     def get(self, spec: TraceSpec) -> NetworkTrace:
         """The trace described by ``spec``, building it on first request."""
+        return self.fetch(spec)[0]
+
+    def fetch(self, spec: TraceSpec) -> tuple[NetworkTrace, bool]:
+        """Like :meth:`get`, also reporting whether *this call* built the trace.
+
+        The boolean lets per-request stats views (the serve worker pool)
+        count builds exactly, without a check-then-act race against other
+        threads fetching the same spec concurrently.
+        """
         with self._lock:
             trace = self._traces.get(spec)
             if trace is not None:
                 self.reuses += 1
-                return trace
+                return trace, False
         built = spec.build()
         with self._lock:
             trace = self._traces.setdefault(spec, built)
             if trace is built:
                 self.builds += 1
-            else:
-                self.reuses += 1
-            return trace
+                return trace, True
+            self.reuses += 1
+            return trace, False
 
     def __len__(self) -> int:
         return len(self._traces)

@@ -1,0 +1,146 @@
+"""``python -m repro serve`` — command-line entry of the serving front-end.
+
+Modes:
+
+* ``--stdio`` (default) — speak the line-delimited JSON protocol over
+  stdin/stdout until EOF or a ``shutdown`` op.
+* ``--tcp HOST:PORT`` — listen for concurrent protocol connections
+  (``PORT 0`` picks an ephemeral port, printed on startup).
+* ``--selftest`` — start an in-process TCP server, run one full request
+  round-trip through a real client connection, print the outcome and exit
+  non-zero on any failure.  CI runs this on every tier-1 platform.
+
+``--workers`` bounds concurrent job execution; ``--cache-dir``/``--no-cache``
+select the shared result cache exactly like the batch CLI.  See
+``docs/serving.md`` for the protocol and examples.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.runtime.session import DEFAULT_CACHE_DIR
+
+__all__ = ["main"]
+
+
+def _parse_endpoint(value: str) -> tuple[str, int]:
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(f"expected HOST:PORT, got {value!r}")
+    return host, int(port)
+
+
+async def _selftest(workers: int) -> int:
+    """One request round-trip through a real TCP connection."""
+    from repro.serve.client import ServeClient
+    from repro.serve.service import ExperimentService
+
+    service = ExperimentService(cache_dir=None, workers=workers)
+    async with service:
+        server = await service.serve_tcp("127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        async with server:
+            client = await ServeClient.connect("127.0.0.1", port)
+            try:
+                if not await client.ping():
+                    print("selftest: ping failed", file=sys.stderr)
+                    return 1
+                listing = await client.list_experiments()
+                names = [entry["name"] for entry in listing.get("experiments", [])]
+                if "fig9" not in names:
+                    print("selftest: experiment listing incomplete", file=sys.stderr)
+                    return 1
+                response = await client.run_experiment("table3", preset="smoke")
+                if not response.ok or not response.result:
+                    print(f"selftest: request failed: {response.error}", file=sys.stderr)
+                    return 1
+                rows = response.result["experiment"]["rows"]
+                stats = await client.stats()
+                completed = stats["queue"]["completed"]
+                print(
+                    "selftest ok: table3 --preset smoke round-trip "
+                    f"({len(rows)} rows, {completed} job(s) completed, "
+                    f"stats: {response.stats.summary()})"
+                )
+                return 0
+            finally:
+                await client.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve experiment/simulation requests from one warm runtime session.",
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--stdio",
+        action="store_true",
+        help="speak the JSON-lines protocol over stdin/stdout (default)",
+    )
+    mode.add_argument(
+        "--tcp",
+        type=_parse_endpoint,
+        metavar="HOST:PORT",
+        help="listen for protocol connections on HOST:PORT (port 0 = ephemeral)",
+    )
+    mode.add_argument(
+        "--selftest",
+        action="store_true",
+        help="run one in-process request round-trip and exit",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="bound on concurrently executing jobs (default: 2)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="shared on-disk result cache (default: ~/.cache/repro-pragmatic "
+        "or $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache entirely"
+    )
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
+
+    if args.selftest:
+        return asyncio.run(_selftest(args.workers))
+
+    from repro.serve.service import ExperimentService
+
+    cache_dir = None if args.no_cache else (args.cache_dir or DEFAULT_CACHE_DIR)
+    service = ExperimentService(
+        cache_dir=cache_dir, no_cache=args.no_cache, workers=args.workers
+    )
+
+    async def run_tcp(host: str, port: int) -> None:
+        async with service:
+            server = await service.serve_tcp(host, port)
+            bound = server.sockets[0].getsockname()
+            print(f"repro serve: listening on {bound[0]}:{bound[1]}", file=sys.stderr)
+            async with server:
+                # Returns when a client sends the shutdown op (or on ^C).
+                await service.wait_shutdown()
+
+    try:
+        if args.tcp:
+            asyncio.run(run_tcp(*args.tcp))
+        else:
+            asyncio.run(service.run_stdio())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

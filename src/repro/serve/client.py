@@ -1,0 +1,214 @@
+"""Async TCP client for the ``repro serve`` protocol.
+
+:class:`ServeClient` multiplexes any number of concurrent requests over one
+connection: each request gets a client-side correlation id, a background
+reader task routes incoming event lines by that id, and the awaiting
+coroutine collects lifecycle events until the terminal one arrives.  The
+terminal event is returned as a :class:`ServeResponse` whose ``stats`` is a
+real :class:`~repro.runtime.session.RunStats` (rebuilt from the wire dict via
+``RunStats.merge``), so callers can assert cache/sweep counters directly —
+see ``examples/serve_client.py`` and ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass, field
+
+from repro.runtime import RunStats
+from repro.serve.protocol import ProtocolError, decode, encode
+
+__all__ = ["ServeResponse", "ServeClient"]
+
+
+@dataclass
+class ServeResponse:
+    """Terminal outcome of one served request."""
+
+    state: str  # "done" | "failed" | "cancelled"
+    ticket: str | None
+    coalesced: bool
+    result: dict | None
+    stats: RunStats
+    error: str | None = None
+    elapsed_seconds: float | None = None
+    events: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.state == "done"
+
+
+def _response_from(payload: dict, events: list[str]) -> ServeResponse:
+    stats = RunStats()
+    stats.merge(payload.get("stats", {}))
+    return ServeResponse(
+        state=payload.get("event", "failed"),
+        ticket=payload.get("ticket"),
+        coalesced=bool(payload.get("coalesced", False)),
+        result=payload.get("result"),
+        stats=stats,
+        error=payload.get("error"),
+        elapsed_seconds=payload.get("elapsed_seconds"),
+        events=events,
+    )
+
+
+class ServeClient:
+    """One protocol connection; safe for concurrent requests via ``gather``."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._counter = itertools.count(1)
+        self._routes: dict[str, asyncio.Queue[dict]] = {}
+        self._reader_task = asyncio.create_task(self._read_loop(), name="repro-serve-client")
+
+    @classmethod
+    async def connect(cls, host: str = "127.0.0.1", port: int = 0) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    payload = decode(line)
+                except ProtocolError:
+                    continue  # skip garbage (e.g. a truncated final line)
+                route = self._routes.get(str(payload.get("id")))
+                if route is not None:
+                    route.put_nowait(payload)
+        finally:
+            # Connection gone (EOF, reset, or reader error): unblock every
+            # waiter with a synthetic failure instead of hanging forever.
+            for route in self._routes.values():
+                route.put_nowait({"event": "failed", "error": "connection closed"})
+
+    async def _send(self, message: dict) -> asyncio.Queue:
+        client_id = f"c{next(self._counter)}"
+        route: asyncio.Queue[dict] = asyncio.Queue()
+        self._routes[client_id] = route
+        self._writer.write(encode({"id": client_id, **message}))
+        await self._writer.drain()
+        return route
+
+    async def _roundtrip(self, message: dict) -> dict:
+        """Send a control op and return its single response."""
+        route = await self._send(message)
+        payload = await route.get()
+        self._routes.pop(str(payload.get("id", "")), None)
+        return payload
+
+    async def _job(self, message: dict, on_event=None) -> ServeResponse:
+        """Send a job op and await its terminal event."""
+        route = await self._send(message)
+        events: list[str] = []
+        while True:
+            payload = await route.get()
+            event = payload.get("event", "")
+            events.append(event)
+            if on_event is not None:
+                on_event(payload)
+            if event in ("done", "failed", "cancelled", "error"):
+                self._routes.pop(str(payload.get("id", "")), None)
+                if event == "error":
+                    return ServeResponse(
+                        state="failed",
+                        ticket=None,
+                        coalesced=False,
+                        result=None,
+                        stats=RunStats(),
+                        error=payload.get("error"),
+                        events=events,
+                    )
+                return _response_from(payload, events)
+
+    # ------------------------------------------------------------------ job ops
+    async def run_experiment(
+        self,
+        experiment: str,
+        preset: str = "fast",
+        seed: int = 0,
+        overrides: dict | None = None,
+        on_event=None,
+    ) -> ServeResponse:
+        message = {"op": "run_experiment", "experiment": experiment, "preset": preset, "seed": seed}
+        if overrides:
+            message["overrides"] = overrides
+        return await self._job(message, on_event=on_event)
+
+    async def run_all(
+        self, preset: str = "fast", seed: int = 0, overrides: dict | None = None, on_event=None
+    ) -> ServeResponse:
+        message = {"op": "run_all", "preset": preset, "seed": seed}
+        if overrides:
+            message["overrides"] = overrides
+        return await self._job(message, on_event=on_event)
+
+    async def simulate(
+        self,
+        network: str,
+        variants: str = "fig9",
+        representation: str = "fixed16",
+        preset: str = "fast",
+        seed: int = 0,
+        overrides: dict | None = None,
+        on_event=None,
+    ) -> ServeResponse:
+        message = {
+            "op": "simulate",
+            "network": network,
+            "variants": variants,
+            "representation": representation,
+            "preset": preset,
+            "seed": seed,
+        }
+        if overrides:
+            message["overrides"] = overrides
+        return await self._job(message, on_event=on_event)
+
+    # -------------------------------------------------------------- control ops
+    async def ping(self) -> bool:
+        return (await self._roundtrip({"op": "ping"})).get("event") == "pong"
+
+    async def stats(self) -> dict:
+        return await self._roundtrip({"op": "stats"})
+
+    async def list_experiments(self) -> dict:
+        return await self._roundtrip({"op": "list"})
+
+    async def status(self, ticket: str) -> dict:
+        return await self._roundtrip({"op": "status", "ticket": ticket})
+
+    async def cancel(self, ticket: str) -> dict:
+        return await self._roundtrip({"op": "cancel", "ticket": ticket})
+
+    async def shutdown(self) -> None:
+        """Ask the server to shut down (also closes this connection)."""
+        try:
+            await self._roundtrip({"op": "shutdown"})
+        finally:
+            await self.close()
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

@@ -1,0 +1,261 @@
+"""Typed requests and the line-delimited JSON wire format of ``repro serve``.
+
+Every message on the wire is one JSON object per ``\\n``-terminated line.
+Client → server messages carry an ``op`` plus op-specific fields and an
+optional correlation ``id`` the server echoes back on every event for that
+request.  Server → client messages carry an ``event`` (``queued``,
+``running``, ``done``, ``failed``, ``cancelled`` for job lifecycles; single
+shot events for control ops).
+
+The job-submitting ops parse into frozen dataclasses — the *typed* form the
+queue, the workers and the in-process API all share — and each request type
+knows its deduplication key, built on the runtime's content fingerprints so
+identical in-flight requests coalesce onto one job.  ``docs/serving.md``
+documents the protocol with examples.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+
+from repro.experiments.base import PRESETS, Preset, get_preset
+from repro.runtime import SimulationRequest, TraceSpec, fingerprint
+
+__all__ = [
+    "ProtocolError",
+    "ExperimentRequest",
+    "RunAllRequest",
+    "SimulateRequest",
+    "ServeRequest",
+    "parse_request",
+    "encode",
+    "decode",
+    "JOB_OPS",
+    "CONTROL_OPS",
+]
+
+#: Ops that enqueue work (parsed into typed requests).
+JOB_OPS = ("run_experiment", "run_all", "simulate")
+
+#: Ops answered immediately by the service.
+CONTROL_OPS = ("status", "cancel", "stats", "list", "ping", "shutdown")
+
+#: Preset fields a request may override.
+_OVERRIDE_FIELDS = ("networks", "samples_per_layer", "max_pallets")
+
+
+class ProtocolError(ValueError):
+    """A malformed or unsupported protocol message."""
+
+
+def _normalize_overrides(overrides: object) -> tuple[tuple[str, object], ...]:
+    """Validate and canonicalize a JSON ``overrides`` object."""
+    if overrides is None:
+        return ()
+    if not isinstance(overrides, dict):
+        raise ProtocolError("overrides must be an object of preset fields")
+    items: list[tuple[str, object]] = []
+    for key in sorted(overrides):
+        value = overrides[key]
+        if key not in _OVERRIDE_FIELDS:
+            raise ProtocolError(
+                f"unknown preset override {key!r}; allowed: {', '.join(_OVERRIDE_FIELDS)}"
+            )
+        if key == "networks":
+            if not isinstance(value, (list, tuple)) or not all(
+                isinstance(item, str) for item in value
+            ):
+                raise ProtocolError("networks override must be a list of names")
+            items.append((key, tuple(value)))
+        else:
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ProtocolError(f"{key} override must be a positive integer")
+            items.append((key, value))
+    return tuple(items)
+
+
+def _resolve_preset(preset: str, overrides: tuple[tuple[str, object], ...]) -> Preset:
+    """The effective :class:`Preset` of a request (name kept for display)."""
+    base = get_preset(preset)
+    if not overrides:
+        return base
+    return dataclasses.replace(base, name=f"{base.name}+overrides", **dict(overrides))
+
+
+def _preset_content(preset: Preset) -> Preset:
+    """The preset stripped of its display name (names never affect results)."""
+    return dataclasses.replace(preset, name="")
+
+
+@dataclass(frozen=True)
+class ExperimentRequest:
+    """Run one experiment: ``{"op": "run_experiment", "experiment": "fig9", ...}``."""
+
+    experiment: str
+    preset: str = "fast"
+    seed: int = 0
+    overrides: tuple[tuple[str, object], ...] = ()
+
+    op = "run_experiment"
+
+    def resolved_preset(self) -> Preset:
+        return _resolve_preset(self.preset, self.overrides)
+
+    def key(self) -> str:
+        """Content hash for in-flight deduplication (display names excluded)."""
+        return fingerprint(
+            {
+                "op": self.op,
+                "experiment": self.experiment,
+                "preset": _preset_content(self.resolved_preset()),
+                "seed": self.seed,
+            }
+        )
+
+    def describe(self) -> str:
+        return f"run_experiment {self.experiment} --preset {self.preset} --seed {self.seed}"
+
+
+@dataclass(frozen=True)
+class RunAllRequest:
+    """Run every experiment in presentation order: ``{"op": "run_all", ...}``."""
+
+    preset: str = "fast"
+    seed: int = 0
+    overrides: tuple[tuple[str, object], ...] = ()
+
+    op = "run_all"
+
+    def resolved_preset(self) -> Preset:
+        return _resolve_preset(self.preset, self.overrides)
+
+    def key(self) -> str:
+        return fingerprint(
+            {
+                "op": self.op,
+                "preset": _preset_content(self.resolved_preset()),
+                "seed": self.seed,
+            }
+        )
+
+    def describe(self) -> str:
+        return f"run_all --preset {self.preset} --seed {self.seed}"
+
+
+@dataclass(frozen=True)
+class SimulateRequest:
+    """Simulate one named variant group over one network trace.
+
+    ``{"op": "simulate", "network": "alexnet", "variants": "fig9", ...}`` —
+    the variant groups are the named design-point families of
+    :mod:`repro.core.variants`.
+    """
+
+    network: str
+    variants: str = "fig9"
+    representation: str = "fixed16"
+    preset: str = "fast"
+    seed: int = 0
+    overrides: tuple[tuple[str, object], ...] = ()
+
+    op = "simulate"
+
+    def resolved_preset(self) -> Preset:
+        return _resolve_preset(self.preset, self.overrides)
+
+    def simulation_request(self) -> SimulationRequest:
+        """The runtime simulation request this wire request resolves to."""
+        from repro.core.variants import fig9_variants, fig10_variants, fig12_variants
+
+        groups = {
+            "fig9": fig9_variants,
+            "fig10": fig10_variants,
+            "fig12": fig12_variants,
+        }
+        if self.variants not in groups:
+            raise ProtocolError(
+                f"unknown variant group {self.variants!r}; available: {', '.join(groups)}"
+            )
+        return SimulationRequest(
+            trace=TraceSpec(
+                network=self.network, representation=self.representation, seed=self.seed
+            ),
+            configs=tuple(groups[self.variants]().items()),
+            sampling=self.resolved_preset().sampling(),
+        )
+
+    def key(self) -> str:
+        """Content hash: the runtime cache keys of the underlying simulations."""
+        return fingerprint(
+            {"op": self.op, "units": sorted(self.simulation_request().keys().values())}
+        )
+
+    def describe(self) -> str:
+        return f"simulate {self.network} variants={self.variants} --preset {self.preset}"
+
+
+ServeRequest = ExperimentRequest | RunAllRequest | SimulateRequest
+
+
+def parse_request(message: dict) -> ServeRequest:
+    """Parse (and validate) a job-submitting protocol message."""
+    op = message.get("op")
+    if op not in JOB_OPS:
+        raise ProtocolError(f"unknown job op {op!r}; job ops: {', '.join(JOB_OPS)}")
+    preset = message.get("preset", "fast")
+    if not isinstance(preset, str) or preset not in PRESETS:
+        raise ProtocolError(f"unknown preset {preset!r}; available: {', '.join(PRESETS)}")
+    seed = message.get("seed", 0)
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise ProtocolError("seed must be an integer")
+    overrides = _normalize_overrides(message.get("overrides"))
+
+    if op == "run_experiment":
+        from repro.experiments.runner import EXPERIMENTS
+
+        experiment = message.get("experiment")
+        if experiment not in EXPERIMENTS:
+            raise ProtocolError(
+                f"unknown experiment {experiment!r}; available: {', '.join(EXPERIMENTS)}"
+            )
+        return ExperimentRequest(
+            experiment=experiment, preset=preset, seed=seed, overrides=overrides
+        )
+    if op == "run_all":
+        return RunAllRequest(preset=preset, seed=seed, overrides=overrides)
+
+    network = message.get("network")
+    if not isinstance(network, str) or not network:
+        raise ProtocolError("simulate requires a network name")
+    request = SimulateRequest(
+        network=network,
+        variants=message.get("variants", "fig9"),
+        representation=message.get("representation", "fixed16"),
+        preset=preset,
+        seed=seed,
+        overrides=overrides,
+    )
+    request.simulation_request()  # validates variants/representation eagerly
+    return request
+
+
+def encode(message: dict) -> bytes:
+    """One protocol message as a ``\\n``-terminated JSON line."""
+    return (json.dumps(message, separators=(",", ":"), sort_keys=False) + "\n").encode(
+        "utf-8"
+    )
+
+
+def decode(line: bytes | str) -> dict:
+    """Parse one protocol line into a message dict."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"invalid JSON line: {error}") from error
+    if not isinstance(message, dict):
+        raise ProtocolError("protocol messages must be JSON objects")
+    return message

@@ -1,0 +1,251 @@
+"""The async request queue: tickets, jobs, coalescing and cancellation.
+
+A **job** is one unit of execution, identified by its request's content hash.
+A **ticket** is one client request.  Submitting a request whose hash matches
+an in-flight (queued or running) job attaches a new ticket to that job instead
+of enqueueing a second execution — that is the request coalescing the serving
+layer promises: N concurrent identical requests cost one simulation pass, and
+every ticket receives the same result and stats.
+
+Lifecycle: ``queued → running → done | failed``, with ``cancelled`` reachable
+from ``queued`` (a running simulation cannot be interrupted; cancelling a
+ticket on a running job just detaches that ticket).  All state lives on the
+event loop — only the execution itself leaves it (see
+:mod:`repro.serve.workers`).  ``docs/serving.md`` walks through the model.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import itertools
+import time
+from typing import Callable
+
+from repro.serve.protocol import ServeRequest
+
+__all__ = ["Ticket", "Job", "RequestQueue"]
+
+#: Job/ticket lifecycle states.
+STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: How many *finished* tickets stay resolvable through ``status``.  Beyond
+#: this, the oldest are evicted (with their jobs' result payloads), keeping a
+#: long-lived server's memory bounded under steady traffic.  In-process
+#: callers hold their Ticket objects directly and are unaffected.
+FINISHED_TICKET_HISTORY = 1024
+
+
+class Job:
+    """One coalesced unit of execution (1..N tickets share it)."""
+
+    def __init__(self, key: str, request: ServeRequest) -> None:
+        self.key = key
+        self.request = request
+        self.state = "queued"
+        self.result: dict | None = None
+        self.error: str | None = None
+        self.stats: dict = {}
+        self.tickets: list[Ticket] = []
+        self.done = asyncio.Event()
+        self.started: float | None = None
+        self.elapsed: float | None = None
+
+    @property
+    def live_tickets(self) -> list["Ticket"]:
+        return [ticket for ticket in self.tickets if not ticket.cancelled]
+
+
+class Ticket:
+    """One client request, attached to (possibly sharing) a job."""
+
+    def __init__(
+        self,
+        ticket_id: str,
+        job: Job,
+        coalesced: bool,
+        on_event: Callable[["Ticket", str], None] | None = None,
+    ) -> None:
+        self.ticket_id = ticket_id
+        self.job = job
+        self.coalesced = coalesced
+        self.cancelled = False
+        self.retired = False
+        self.on_event = on_event
+
+    @property
+    def state(self) -> str:
+        return "cancelled" if self.cancelled else self.job.state
+
+    def notify(self, event: str) -> None:
+        if self.on_event is not None and not self.cancelled:
+            self.on_event(self, event)
+
+
+class RequestQueue:
+    """FIFO of jobs with content-hash deduplication of in-flight requests."""
+
+    def __init__(self) -> None:
+        self._pending: asyncio.Queue[Job | None] = asyncio.Queue()
+        self._inflight: dict[str, Job] = {}
+        self._tickets: dict[str, Ticket] = {}
+        self._finished: collections.deque[str] = collections.deque()
+        self._counter = itertools.count(1)
+        #: Set by stop_workers(): workers stop pulling jobs immediately.
+        self.stopping = False
+        #: Optional hook invoked once per finished job (before ticket events).
+        self.on_finish: Callable[[Job], None] | None = None
+        #: Totals since service start.
+        self.submitted = 0
+        self.coalesced = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+
+    # ------------------------------------------------------------------ submit
+    def submit(
+        self,
+        request: ServeRequest,
+        on_event: Callable[[Ticket, str], None] | None = None,
+    ) -> Ticket:
+        """Enqueue ``request`` (or coalesce it onto an identical in-flight job)."""
+        key = request.key()
+        job = self._inflight.get(key)
+        coalesced = job is not None
+        if job is None:
+            job = Job(key, request)
+            self._inflight[key] = job
+            self._pending.put_nowait(job)
+        ticket = Ticket(f"t{next(self._counter)}", job, coalesced, on_event)
+        job.tickets.append(ticket)
+        self._tickets[ticket.ticket_id] = ticket
+        self.submitted += 1
+        if coalesced:
+            self.coalesced += 1
+        ticket.notify(job.state)  # "queued", or "running" when coalescing late
+        return ticket
+
+    # ------------------------------------------------------------------ workers
+    async def next_job(self) -> Job | None:
+        """The next executable job (skips fully-cancelled ones); ``None`` stops.
+
+        Once :meth:`stop_workers` has been called, returns ``None`` without
+        draining the backlog — shutdown abandons queued jobs rather than
+        executing them.
+        """
+        while True:
+            if self.stopping:
+                return None
+            job = await self._pending.get()
+            if job is None:
+                return None
+            if self.stopping:
+                # Dequeued during shutdown: fail it so its waiters unblock.
+                if job.state == "queued":
+                    self.finish(job, error="service stopped before this job ran")
+                return None
+            if job.state == "cancelled":
+                continue
+            return job
+
+    def mark_running(self, job: Job) -> None:
+        job.state = "running"
+        job.started = time.perf_counter()
+        for ticket in job.live_tickets:
+            ticket.notify("running")
+
+    def finish(
+        self, job: Job, result: dict | None = None, error: str | None = None, stats: dict | None = None
+    ) -> None:
+        """Complete a job and fan its outcome out to every live ticket."""
+        job.result = result
+        job.error = error
+        job.stats = stats or {}
+        job.elapsed = (
+            time.perf_counter() - job.started if job.started is not None else None
+        )
+        job.state = "failed" if error is not None else "done"
+        if error is not None:
+            self.failed += 1
+        else:
+            self.completed += 1
+        self._inflight.pop(job.key, None)
+        if self.on_finish is not None:
+            self.on_finish(job)
+        job.done.set()
+        for ticket in job.live_tickets:
+            ticket.notify(job.state)
+        for ticket in job.tickets:
+            self._retire(ticket)
+
+    def stop_workers(self, count: int) -> None:
+        """Stop dispatching: wake ``count`` workers and abandon the backlog."""
+        self.stopping = True
+        for _ in range(count):
+            self._pending.put_nowait(None)
+
+    def abandon_pending(self) -> int:
+        """Fail every still-queued job so its waiters unblock; returns count.
+
+        Called after the workers have exited: jobs they never picked up are
+        completed with an error instead of being left to hang their tickets.
+        """
+        abandoned = 0
+        while not self._pending.empty():
+            job = self._pending.get_nowait()
+            if job is None or job.state != "queued":
+                continue
+            self.finish(job, error="service stopped before this job ran")
+            abandoned += 1
+        return abandoned
+
+    def _retire(self, ticket: Ticket) -> None:
+        """Move a terminal ticket into the bounded history, evicting the oldest."""
+        if ticket.retired:
+            return
+        ticket.retired = True
+        self._finished.append(ticket.ticket_id)
+        while len(self._finished) > FINISHED_TICKET_HISTORY:
+            self._tickets.pop(self._finished.popleft(), None)
+
+    # ------------------------------------------------------------------ control
+    def get(self, ticket_id: str) -> Ticket | None:
+        return self._tickets.get(ticket_id)
+
+    def cancel(self, ticket_id: str) -> tuple[bool, str]:
+        """Cancel a ticket; returns ``(changed, resulting state)``.
+
+        A queued job whose tickets are all cancelled is dropped before it
+        runs; a running job cannot be interrupted (its result still lands in
+        the shared cache), but the cancelled ticket stops receiving events.
+        """
+        ticket = self._tickets.get(ticket_id)
+        if ticket is None:
+            raise KeyError(f"unknown ticket {ticket_id!r}")
+        if ticket.cancelled or ticket.job.state in ("done", "failed"):
+            return False, ticket.state
+        ticket.cancelled = True
+        self.cancelled += 1
+        self._retire(ticket)
+        job = ticket.job
+        if job.state == "queued" and not job.live_tickets:
+            job.state = "cancelled"
+            self._inflight.pop(job.key, None)
+            job.done.set()
+        # Deliver the terminal event directly: notify() suppresses cancelled
+        # tickets, but the waiter behind this one must still be unblocked.
+        if ticket.on_event is not None:
+            ticket.on_event(ticket, "cancelled")
+        return True, ticket.state
+
+    def depth(self) -> dict[str, int]:
+        """Queue-level counters for the ``stats`` op."""
+        return {
+            "queued": sum(1 for job in self._inflight.values() if job.state == "queued"),
+            "running": sum(1 for job in self._inflight.values() if job.state == "running"),
+            "submitted": self.submitted,
+            "coalesced": self.coalesced,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+        }

@@ -1,0 +1,321 @@
+"""The experiment-serving service: one warm session, many concurrent clients.
+
+:class:`ExperimentService` owns a single long-lived
+:class:`~repro.runtime.session.RuntimeSession` (shared ``ResultCache`` +
+``TraceStore``), an async :class:`~repro.serve.queue.RequestQueue` and a
+bounded :class:`~repro.serve.workers.WorkerPool`.  Clients reach it three
+ways, all speaking the same typed requests:
+
+* **in process** — ``await service.submit(request)`` / ``await service.wait``,
+  used by tests and embedders;
+* **TCP** — :meth:`ExperimentService.serve_tcp`, line-delimited JSON
+  (:mod:`repro.serve.protocol`) for many concurrent remote clients;
+* **stdio** — :meth:`ExperimentService.run_stdio`, the same protocol over
+  stdin/stdout for single-operator and subprocess use.
+
+The request lifecycle (``queued → running → done/failed``, coalescing,
+cancellation) is documented in ``docs/serving.md``; the architecture map in
+``docs/architecture.md`` places this layer at the top of the stack.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import sys
+from pathlib import Path
+
+from repro.runtime import ResultCache, RunStats, RuntimeSession
+from repro.serve.protocol import (
+    CONTROL_OPS,
+    JOB_OPS,
+    ProtocolError,
+    ServeRequest,
+    decode,
+    encode,
+    parse_request,
+)
+from repro.serve.queue import RequestQueue, Ticket
+from repro.serve.workers import WorkerPool
+
+__all__ = ["ExperimentService"]
+
+
+class ExperimentService:
+    """Async front-end serving experiment/simulation requests.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory of the shared on-disk result cache; ``None`` keeps the warm
+        cache in memory (still shared across every request of this service).
+    no_cache:
+        Disable result caching entirely (each request recomputes).
+    workers:
+        Bound on concurrently executing jobs.
+    session:
+        Pre-built session to serve from (overrides ``cache_dir``/``no_cache``).
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | Path | None = None,
+        no_cache: bool = False,
+        workers: int = 2,
+        session: RuntimeSession | None = None,
+    ) -> None:
+        if session is None:
+            if no_cache:
+                session = RuntimeSession(cache=ResultCache.disabled())
+            else:
+                session = RuntimeSession(cache=ResultCache(directory=cache_dir))
+        self.session = session
+        self.queue = RequestQueue()
+        self.queue.on_finish = self._on_job_finish
+        self.pool = WorkerPool(self.queue, session, workers=workers)
+        self.totals = RunStats()
+        self._started = False
+        self._shutdown = asyncio.Event()
+
+    def _on_job_finish(self, job) -> None:
+        """Fold one finished job's per-request counters into service totals."""
+        if job.stats:
+            self.totals.merge(job.stats)
+
+    # ----------------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        """Start the worker pool (idempotent)."""
+        await self.pool.start()
+        self._started = True
+
+    async def stop(self) -> None:
+        """Stop the workers; queued jobs are abandoned."""
+        if self._started:
+            await self.pool.stop()
+            self._started = False
+        self._shutdown.set()
+
+    async def __aenter__(self) -> "ExperimentService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    async def wait_shutdown(self) -> None:
+        """Block until a ``shutdown`` op arrives (or :meth:`stop` is called).
+
+        TCP front-ends await this instead of ``serve_forever`` so a client's
+        ``shutdown`` request actually stops the server.
+        """
+        await self._shutdown.wait()
+
+    # ----------------------------------------------------------------- requests
+    async def submit(self, request: ServeRequest, on_event=None) -> Ticket:
+        """Enqueue a typed request; returns its ticket immediately."""
+        if not self._started:
+            await self.start()
+        return self.queue.submit(request, on_event=on_event)
+
+    async def wait(self, ticket: Ticket) -> dict:
+        """Wait for a ticket's job and return its terminal response payload."""
+        await ticket.job.done.wait()
+        return self.response(ticket)
+
+    def response(self, ticket: Ticket) -> dict:
+        """The terminal protocol payload of a finished (or cancelled) ticket."""
+        job = ticket.job
+        payload = {
+            "event": ticket.state,
+            "ticket": ticket.ticket_id,
+            "coalesced": ticket.coalesced,
+            "request": job.request.describe(),
+        }
+        if job.elapsed is not None:
+            payload["elapsed_seconds"] = round(job.elapsed, 6)
+        if ticket.state == "done":
+            payload["result"] = job.result
+            payload["stats"] = job.stats
+        elif ticket.state == "failed":
+            payload["error"] = job.error
+        return payload
+
+    # ----------------------------------------------------------------- control
+    def status(self, ticket_id: str) -> dict:
+        ticket = self.queue.get(ticket_id)
+        if ticket is None:
+            return {"event": "error", "error": f"unknown ticket {ticket_id!r}"}
+        return {
+            "event": "status",
+            "ticket": ticket.ticket_id,
+            "state": ticket.state,
+            "coalesced": ticket.coalesced,
+            "request": ticket.job.request.describe(),
+        }
+
+    def cancel(self, ticket_id: str) -> dict:
+        try:
+            changed, state = self.queue.cancel(ticket_id)
+        except KeyError as error:
+            return {"event": "error", "error": str(error)}
+        return {"event": "cancelled", "ticket": ticket_id, "changed": changed, "state": state}
+
+    def stats(self) -> dict:
+        return {
+            "event": "stats",
+            "stats": self.totals.as_dict(),
+            "queue": self.queue.depth(),
+            "cache_dir": (
+                str(self.session.cache.directory)
+                if getattr(self.session.cache, "directory", None)
+                else None
+            ),
+            "cache_entries": len(self.session.cache),
+            "traces": len(self.session.traces),
+            "workers": self.pool.workers,
+        }
+
+    def list_experiments(self) -> dict:
+        from repro.experiments.base import PRESETS
+        from repro.experiments.runner import EXPERIMENTS, experiment_description
+
+        return {
+            "event": "experiments",
+            "experiments": [
+                {"name": name, "description": experiment_description(name)}
+                for name in EXPERIMENTS
+            ],
+            "presets": sorted(PRESETS),
+        }
+
+    # ----------------------------------------------------------------- protocol
+    async def handle_message(self, message: dict, send) -> bool:
+        """Dispatch one decoded protocol message; ``False`` requests shutdown.
+
+        ``send`` is a callable taking one response dict; job lifecycle events
+        are delivered through it as they happen.
+        """
+        client_id = message.get("id")
+
+        def reply(payload: dict) -> None:
+            if client_id is not None:
+                payload = {"id": client_id, **payload}
+            send(payload)
+
+        op = message.get("op")
+        if op == "ping":
+            reply({"event": "pong"})
+        elif op == "list":
+            reply(self.list_experiments())
+        elif op == "stats":
+            reply(self.stats())
+        elif op == "status":
+            reply(self.status(str(message.get("ticket", ""))))
+        elif op == "cancel":
+            reply(self.cancel(str(message.get("ticket", ""))))
+        elif op == "shutdown":
+            reply({"event": "shutdown"})
+            self._shutdown.set()  # wakes wait_shutdown() (TCP front-ends)
+            return False
+        elif op in JOB_OPS:
+            try:
+                request = parse_request(message)
+            except ProtocolError as error:
+                reply({"event": "error", "error": str(error)})
+                return True
+
+            def on_event(ticket: Ticket, event: str) -> None:
+                if event in ("done", "failed", "cancelled"):
+                    reply(self.response(ticket))
+                else:
+                    reply(
+                        {
+                            "event": event,
+                            "ticket": ticket.ticket_id,
+                            "coalesced": ticket.coalesced,
+                        }
+                    )
+
+            await self.submit(request, on_event=on_event)
+        else:
+            reply(
+                {
+                    "event": "error",
+                    "error": f"unknown op {op!r}; ops: {', '.join(JOB_OPS + CONTROL_OPS)}",
+                }
+            )
+        return True
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one TCP client: JSON lines in, event lines out."""
+        outbox: asyncio.Queue[dict | None] = asyncio.Queue()
+
+        async def drain_outbox() -> None:
+            while True:
+                payload = await outbox.get()
+                if payload is None:
+                    break
+                writer.write(encode(payload))
+                try:
+                    await writer.drain()
+                except (ConnectionError, RuntimeError):
+                    break
+
+        sender = asyncio.create_task(drain_outbox())
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    message = decode(line)
+                except ProtocolError as error:
+                    outbox.put_nowait({"event": "error", "error": str(error)})
+                    continue
+                if not await self.handle_message(message, outbox.put_nowait):
+                    break
+        except asyncio.CancelledError:
+            pass  # server shutting down mid-connection; fall through to cleanup
+        finally:
+            outbox.put_nowait(None)
+            with contextlib.suppress(asyncio.CancelledError):
+                await sender
+            sender.cancel()
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def serve_tcp(self, host: str = "127.0.0.1", port: int = 0) -> asyncio.Server:
+        """Listen for protocol connections; returns the (started) server."""
+        await self.start()
+        return await asyncio.start_server(self.handle_connection, host, port)
+
+    async def run_stdio(self, stdin=None, stdout=None) -> None:
+        """Speak the protocol over stdin/stdout until EOF or ``shutdown``."""
+        stdin = stdin if stdin is not None else sys.stdin
+        stdout = stdout if stdout is not None else sys.stdout
+        await self.start()
+        loop = asyncio.get_running_loop()
+
+        def send(payload: dict) -> None:
+            stdout.write(encode(payload).decode("utf-8"))
+            stdout.flush()
+
+        while True:
+            line = await loop.run_in_executor(None, stdin.readline)
+            if not line:
+                break
+            if not line.strip():
+                continue
+            try:
+                message = decode(line)
+            except ProtocolError as error:
+                send({"event": "error", "error": str(error)})
+                continue
+            if not await self.handle_message(message, send):
+                break
+        await self.stop()

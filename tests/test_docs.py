@@ -1,0 +1,99 @@
+"""Documentation checks: intra-repo markdown links must resolve.
+
+CI's docs job runs this module on every tier-1 platform; it scans every
+tracked markdown file for relative links (and anchor-only fragments within
+the same file) and fails on anything that points at a file which does not
+exist.  External links (http/https/mailto) are out of scope.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links: [text](target), excluding images' leading ! is fine.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Required documentation pages (the docs site contract of this repo).
+REQUIRED = (
+    "README.md",
+    "docs/architecture.md",
+    "docs/runtime.md",
+    "docs/serving.md",
+)
+
+
+def markdown_files() -> list[Path]:
+    files = [
+        path
+        for path in REPO_ROOT.rglob("*.md")
+        if not any(part.startswith(".") for part in path.relative_to(REPO_ROOT).parts)
+    ]
+    assert files, "no markdown files found"
+    return files
+
+
+def heading_anchors(path: Path) -> set[str]:
+    """GitHub-style anchors of a markdown file's headings."""
+    anchors = set()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        match = re.match(r"#+\s+(.*)", line)
+        if match:
+            title = match.group(1).strip().strip("`")
+            anchor = re.sub(r"[^\w\s-]", "", title.lower())
+            anchors.add(re.sub(r"[\s]+", "-", anchor).strip("-"))
+    return anchors
+
+
+def test_required_docs_exist():
+    for relative in REQUIRED:
+        assert (REPO_ROOT / relative).is_file(), f"missing documentation page {relative}"
+
+
+def test_intra_repo_markdown_links_resolve():
+    problems = []
+    for path in markdown_files():
+        text = path.read_text(encoding="utf-8")
+        for target in LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target_path, _, fragment = target.partition("#")
+            if not target_path:  # same-file anchor
+                if fragment and fragment not in heading_anchors(path):
+                    problems.append(f"{path.relative_to(REPO_ROOT)}: dead anchor #{fragment}")
+                continue
+            resolved = (path.parent / target_path).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(REPO_ROOT)}: broken link {target!r}"
+                )
+            elif fragment and resolved.suffix == ".md":
+                if fragment not in heading_anchors(resolved):
+                    problems.append(
+                        f"{path.relative_to(REPO_ROOT)}: dead anchor {target!r}"
+                    )
+    assert not problems, "\n".join(problems)
+
+
+def test_readme_links_the_docs_site():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for page in ("docs/architecture.md", "docs/runtime.md", "docs/serving.md"):
+        assert page in readme, f"README does not link {page}"
+
+
+def test_runtime_and_serve_modules_name_their_docs():
+    """Every runtime/serve module docstring points readers at the docs site."""
+    for package, doc in (("runtime", "docs/runtime.md"), ("serve", "docs/serving.md")):
+        for source in sorted((REPO_ROOT / "src" / "repro" / package).glob("*.py")):
+            head = source.read_text(encoding="utf-8")
+            docstring = head.split('"""')[1] if '"""' in head else ""
+            assert docstring.strip(), f"{source.name} has no module docstring"
+            assert doc in docstring, f"{source} docstring does not reference {doc}"
+
+
+@pytest.mark.parametrize("page", REQUIRED)
+def test_docs_pages_are_nonempty(page):
+    text = (REPO_ROOT / page).read_text(encoding="utf-8")
+    assert len(text.splitlines()) > 20, f"{page} looks like a stub"

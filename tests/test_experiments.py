@@ -97,10 +97,15 @@ class TestRegistry:
         assert payload["experiment"] == "table3"
         assert payload["headers"][0] == "design"
 
-    def test_module_alias_exposes_main(self):
-        import repro.__main__ as alias
+    def test_module_dispatches_runner_and_serve(self, capsys):
+        import repro.__main__ as entry
 
-        assert alias.main is runner.main
+        # Anything but "serve" is the batch runner CLI.
+        assert entry.main(["--list"]) == 0
+        assert "fig9" in capsys.readouterr().out
+        # "serve" routes to the serving CLI (its parser rejects bad workers).
+        with pytest.raises(SystemExit):
+            entry.main(["serve", "--workers", "0"])
 
 
 class TestArtifacts:

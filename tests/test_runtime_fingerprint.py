@@ -9,6 +9,8 @@ from repro.runtime.fingerprint import (
     code_fingerprint,
     fingerprint,
     simulation_key,
+    statistics_code_fingerprint,
+    statistics_key,
 )
 from repro.runtime.trace_store import TraceSpec
 
@@ -75,3 +77,28 @@ class TestCodeFingerprint:
     def test_is_cached_and_stable(self):
         assert code_fingerprint() == code_fingerprint()
         assert len(code_fingerprint()) == 64
+
+    def test_statistics_fingerprint_also_covers_analysis(self):
+        # Statistics passes execute repro.analysis code, so their code
+        # fingerprint must differ from the simulation-only one (editing
+        # analysis invalidates statistics entries but not simulations).
+        assert statistics_code_fingerprint() != code_fingerprint()
+        assert len(statistics_code_fingerprint()) == 64
+
+
+class TestStatisticsKey:
+    SPEC = TraceSpec(network="alexnet", representation="fixed16", seed=0)
+
+    def test_every_component_changes_the_key(self):
+        base = statistics_key("fig2_terms", self.SPEC, 2000)
+        assert base != statistics_key("fig3_terms", self.SPEC, 2000)
+        assert base != statistics_key("fig2_terms", self.SPEC, 4000)
+        assert base != statistics_key(
+            "fig2_terms", TraceSpec(network="vgg_m", representation="fixed16"), 2000
+        )
+
+    def test_statistics_and_simulation_keys_never_collide(self):
+        sampling = SamplingConfig(max_pallets=2, seed=0)
+        assert statistics_key("fig2_terms", self.SPEC, 2000) != simulation_key(
+            self.SPEC, sampling, pallet_variant(2)
+        )

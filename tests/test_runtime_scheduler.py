@@ -13,7 +13,9 @@ from repro.experiments.base import ExperimentResult, Preset
 from repro.runtime import (
     RuntimeSession,
     SimulationRequest,
+    StatisticsRequest,
     TraceSpec,
+    analyze,
     build_plan,
     run_experiments,
     simulate,
@@ -90,7 +92,64 @@ class TestPlanning:
     def test_experiments_without_plans_have_no_dependencies(self):
         plan = build_plan(["table3"], SMOKE, 0, RuntimeSession())
         assert plan.simulations == []
+        assert plan.statistics == []
         assert plan.experiments[0].deps == ()
+
+
+class TestStatisticsPlanning:
+    """fig2/fig3/table1 plan per-network statistics jobs (see docs/runtime.md)."""
+
+    def test_statistics_experiments_declare_jobs(self):
+        plan = build_plan(["fig2", "fig3", "table1"], SMOKE, 0, RuntimeSession())
+        # smoke = 2 networks: fig2 2 jobs, fig3 2 jobs, table1 2x2 (both reps).
+        assert len(plan.statistics) == 8
+        assert plan.simulations == []
+        for job in plan.experiments:
+            assert job.deps
+        statistics = {job.request.statistic for job in plan.statistics}
+        assert statistics == {"fig2_terms", "fig3_terms", "essential_bits"}
+
+    def test_cached_statistics_are_pruned(self):
+        session = RuntimeSession()
+        with use_session(session):
+            from repro.experiments import fig2
+
+            fig2.run(preset=SMOKE)
+        plan = build_plan(["fig2", "fig3"], SMOKE, 0, session)
+        assert len(plan.statistics) == 2  # only fig3's passes remain
+        assert plan.planned_hits == 2
+        # fig2 now has no unmet dependencies; fig3 depends on its own jobs.
+        deps = {job.experiment: job.deps for job in plan.experiments}
+        assert deps["fig2"] == ()
+        assert len(deps["fig3"]) == 2
+
+    def test_analyze_is_cached_and_rejects_unknown_statistics(self):
+        session = RuntimeSession()
+        request = StatisticsRequest(
+            statistic="essential_bits",
+            trace=TraceSpec(network="alexnet", representation="quant8"),
+            samples_per_layer=500,
+        )
+        first = analyze(request, session=session)
+        second = analyze(request, session=session)
+        assert first == second
+        assert session.cache.stats.hits == 1
+        assert session.cache.stats.stores == 1
+        with pytest.raises(KeyError):
+            analyze(
+                StatisticsRequest(statistic="nope", trace=request.trace),
+                session=session,
+            )
+
+    def test_statistics_run_through_the_scheduler(self, tmp_path):
+        cold = run_experiments(["fig2", "table1"], preset=SMOKE, cache_dir=tmp_path)
+        warm = run_experiments(["fig2", "table1"], preset=SMOKE, cache_dir=tmp_path)
+        assert cold.statistics_jobs == 6
+        assert warm.statistics_jobs == 0
+        assert warm.stats.cache.misses == 0
+        assert warm.planned_cache_hits == 6
+        assert warm.results == cold.results
+        assert "statistics jobs: 0" in warm.summary()
 
 
 class TestRunExperiments:

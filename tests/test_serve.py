@@ -1,0 +1,474 @@
+"""Tests for the serving layer: protocol, queue, service, concurrency.
+
+The serving contract: many concurrent clients share one warm session;
+identical in-flight requests coalesce onto one job; per-request ``RunStats``
+counters prove exactly how much work each answer cost (a warm-cache answer
+reports ``simulated 0 configs``).
+"""
+
+import asyncio
+import io
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.serve import (
+    ExperimentRequest,
+    ExperimentService,
+    ProtocolError,
+    RunAllRequest,
+    ServeClient,
+    SimulateRequest,
+    parse_request,
+)
+from repro.serve.cli import main as serve_main
+from repro.serve.protocol import decode, encode
+from repro.serve.queue import RequestQueue
+
+#: Tiny fast-preset override so served simulations take seconds.
+TINY = {"networks": ["alexnet"], "max_pallets": 2, "samples_per_layer": 1500}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# --------------------------------------------------------------------- protocol
+class TestProtocol:
+    def test_parse_run_experiment(self):
+        request = parse_request(
+            {"op": "run_experiment", "experiment": "fig9", "preset": "smoke", "seed": 3}
+        )
+        assert isinstance(request, ExperimentRequest)
+        assert request.experiment == "fig9"
+        assert request.resolved_preset().name == "smoke"
+
+    def test_parse_rejects_unknowns(self):
+        with pytest.raises(ProtocolError):
+            parse_request({"op": "run_experiment", "experiment": "fig99"})
+        with pytest.raises(ProtocolError):
+            parse_request({"op": "run_experiment", "experiment": "fig9", "preset": "huge"})
+        with pytest.raises(ProtocolError):
+            parse_request({"op": "explode"})
+        with pytest.raises(ProtocolError):
+            parse_request({"op": "simulate"})  # missing network
+        with pytest.raises(ProtocolError):
+            parse_request(
+                {"op": "simulate", "network": "alexnet", "variants": "fig99"}
+            )
+
+    def test_overrides_validated_and_canonicalized(self):
+        base = {"op": "run_experiment", "experiment": "fig9"}
+        with pytest.raises(ProtocolError):
+            parse_request({**base, "overrides": {"pallets": 2}})
+        with pytest.raises(ProtocolError):
+            parse_request({**base, "overrides": {"max_pallets": 0}})
+        with pytest.raises(ProtocolError):
+            parse_request({**base, "overrides": {"networks": "alexnet"}})
+        a = parse_request({**base, "overrides": {"max_pallets": 2, "networks": ["alexnet"]}})
+        b = parse_request({**base, "overrides": {"networks": ["alexnet"], "max_pallets": 2}})
+        assert a == b  # key order canonicalized
+        assert a.resolved_preset().max_pallets == 2
+        assert a.resolved_preset().networks == ("alexnet",)
+
+    def test_request_keys_dedup_identical_content(self):
+        message = {"op": "run_experiment", "experiment": "fig9", "preset": "fast"}
+        assert parse_request(message).key() == parse_request(dict(message)).key()
+        assert (
+            parse_request(message).key()
+            != parse_request({**message, "seed": 1}).key()
+        )
+        assert (
+            parse_request(message).key()
+            != parse_request({**message, "experiment": "fig10"}).key()
+        )
+
+    def test_run_all_and_simulate_parse(self):
+        assert isinstance(parse_request({"op": "run_all", "preset": "smoke"}), RunAllRequest)
+        simulate = parse_request({"op": "simulate", "network": "alexnet"})
+        assert isinstance(simulate, SimulateRequest)
+        assert len(simulate.simulation_request().configs) == 5  # fig9 variants
+
+    def test_encode_decode_round_trip(self):
+        message = {"id": "c1", "op": "ping"}
+        line = encode(message)
+        assert line.endswith(b"\n")
+        assert decode(line) == message
+        with pytest.raises(ProtocolError):
+            decode(b"not json\n")
+        with pytest.raises(ProtocolError):
+            decode(b"[1, 2]\n")
+
+
+# ------------------------------------------------------------------------ queue
+@dataclass(frozen=True)
+class StubRequest:
+    """Queue-only request: a fixed key and description."""
+
+    name: str
+
+    def key(self) -> str:
+        return f"stub:{self.name}"
+
+    def describe(self) -> str:
+        return f"stub {self.name}"
+
+
+class TestRequestQueue:
+    def test_identical_inflight_requests_share_one_job(self):
+        async def scenario():
+            queue = RequestQueue()
+            first = queue.submit(StubRequest("a"))
+            second = queue.submit(StubRequest("a"))
+            third = queue.submit(StubRequest("b"))
+            assert first.job is second.job
+            assert not first.coalesced and second.coalesced
+            assert third.job is not first.job
+            assert queue.depth()["submitted"] == 3
+            assert queue.depth()["coalesced"] == 1
+            # Only two jobs were actually enqueued.
+            assert await queue.next_job() is first.job
+            assert await queue.next_job() is third.job
+
+        run(scenario())
+
+    def test_finished_jobs_do_not_coalesce_new_requests(self):
+        async def scenario():
+            queue = RequestQueue()
+            first = queue.submit(StubRequest("a"))
+            job = await queue.next_job()
+            queue.mark_running(job)
+            queue.finish(job, result={"ok": 1}, stats={})
+            again = queue.submit(StubRequest("a"))
+            assert again.job is not first.job
+            assert not again.coalesced
+
+        run(scenario())
+
+    def test_cancelling_the_only_ticket_drops_a_queued_job(self):
+        async def scenario():
+            queue = RequestQueue()
+            ticket = queue.submit(StubRequest("a"))
+            survivor = queue.submit(StubRequest("b"))
+            changed, state = queue.cancel(ticket.ticket_id)
+            assert changed and state == "cancelled"
+            assert ticket.job.state == "cancelled"
+            # next_job skips the cancelled job entirely.
+            assert await queue.next_job() is survivor.job
+
+        run(scenario())
+
+    def test_cancelling_one_of_two_tickets_keeps_the_job(self):
+        async def scenario():
+            queue = RequestQueue()
+            first = queue.submit(StubRequest("a"))
+            second = queue.submit(StubRequest("a"))
+            queue.cancel(second.ticket_id)
+            assert first.job.state == "queued"
+            assert second.state == "cancelled"
+            job = await queue.next_job()
+            queue.mark_running(job)
+            queue.finish(job, result={}, stats={})
+            assert first.state == "done"
+            assert second.state == "cancelled"
+
+        run(scenario())
+
+    def test_unknown_ticket_raises(self):
+        queue = RequestQueue()
+        with pytest.raises(KeyError):
+            queue.cancel("t999")
+
+    def test_stop_abandons_the_backlog_instead_of_draining_it(self):
+        async def scenario():
+            queue = RequestQueue()
+            first = queue.submit(StubRequest("a"))
+            second = queue.submit(StubRequest("b"))
+            queue.stop_workers(1)
+            # Workers get None immediately; the backlog is not executed.
+            assert await queue.next_job() is None
+            assert queue.abandon_pending() == 2
+            for ticket in (first, second):
+                assert ticket.state == "failed"
+                assert "service stopped" in ticket.job.error
+                assert ticket.job.done.is_set()
+
+        run(scenario())
+
+    def test_finished_tickets_are_evicted_beyond_the_history_bound(self, monkeypatch):
+        # A long-lived server must not retain every result payload forever.
+        import repro.serve.queue as queue_module
+
+        monkeypatch.setattr(queue_module, "FINISHED_TICKET_HISTORY", 3)
+
+        async def scenario():
+            queue = RequestQueue()
+            tickets = []
+            for index in range(5):
+                ticket = queue.submit(StubRequest(str(index)))
+                tickets.append(ticket)
+                job = await queue.next_job()
+                queue.mark_running(job)
+                queue.finish(job, result={"payload": index}, stats={})
+            # Only the 3 most recent finished tickets remain resolvable.
+            assert queue.get(tickets[0].ticket_id) is None
+            assert queue.get(tickets[1].ticket_id) is None
+            for ticket in tickets[2:]:
+                assert queue.get(ticket.ticket_id) is ticket
+            # Held Ticket objects keep working regardless of eviction.
+            assert tickets[0].state == "done"
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------- stats views
+class TestStatsViews:
+    def test_cache_view_counts_corruption_errors(self, tmp_path):
+        from repro.runtime.cache import ResultCache
+        from repro.serve.workers import _CacheView
+
+        seed = ResultCache(directory=tmp_path)
+        seed.put("deadbeef", {"x": 1})
+        (tmp_path / "deadbeef.json").write_text("garbage", encoding="utf-8")
+        # Fresh inner cache (no in-process memo) behind a per-request view.
+        view = _CacheView(ResultCache(directory=tmp_path))
+        assert view.get("deadbeef") is None
+        assert view.stats.errors == 1  # corruption recovery is visible per request
+        assert view.stats.misses == 1
+
+    def test_trace_view_counts_builds_exactly_once(self):
+        from repro.runtime import TraceStore, TraceSpec
+        from repro.serve.workers import _TraceView
+
+        store = TraceStore()
+        spec = TraceSpec(network="alexnet")
+        first, second = _TraceView(store), _TraceView(store)
+        first.get(spec)
+        second.get(spec)
+        assert (first.builds, first.reuses) == (1, 0)
+        assert (second.builds, second.reuses) == (0, 1)
+        assert (store.builds, store.reuses) == (1, 1)
+
+
+# ---------------------------------------------------------------------- service
+class TestServiceInProcess:
+    def test_submit_wait_round_trip(self):
+        async def scenario():
+            async with ExperimentService(cache_dir=None, workers=1) as service:
+                ticket = await service.submit(ExperimentRequest("table3", preset="smoke"))
+                response = await service.wait(ticket)
+                assert response["event"] == "done"
+                assert response["result"]["kind"] == "experiment"
+                assert response["result"]["experiment"]["experiment"] == "table3"
+                assert "stats" in response
+                assert service.queue.depth()["completed"] == 1
+
+        run(scenario())
+
+    def test_failed_jobs_report_the_error(self):
+        async def scenario():
+            async with ExperimentService(cache_dir=None, workers=1) as service:
+                # Parses fine, but the network does not exist: fails at run time.
+                ticket = await service.submit(
+                    SimulateRequest(network="resnet9000", preset="smoke")
+                )
+                response = await service.wait(ticket)
+                assert response["event"] == "failed"
+                assert "resnet9000" in response["error"]
+                assert service.queue.depth()["failed"] == 1
+
+        run(scenario())
+
+    def test_stats_and_listing_ops(self):
+        async def scenario():
+            async with ExperimentService(cache_dir=None, workers=1) as service:
+                listing = service.list_experiments()
+                names = [entry["name"] for entry in listing["experiments"]]
+                assert "fig9" in names and "table1" in names
+                ticket = await service.submit(ExperimentRequest("table4", preset="smoke"))
+                await service.wait(ticket)
+                stats = service.stats()
+                assert stats["queue"]["completed"] == 1
+                assert stats["workers"] == 1
+
+        run(scenario())
+
+
+# ------------------------------------------------------------------ concurrency
+class TestConcurrentServing:
+    def test_identical_concurrent_requests_coalesce_to_one_execution(self):
+        async def scenario():
+            async with ExperimentService(cache_dir=None, workers=2) as service:
+                server = await service.serve_tcp("127.0.0.1", 0)
+                port = server.sockets[0].getsockname()[1]
+                async with server:
+                    clients = [await ServeClient.connect("127.0.0.1", port) for _ in range(3)]
+                    responses = await asyncio.gather(
+                        *[
+                            client.run_experiment("fig9", preset="fast", overrides=TINY)
+                            for client in clients
+                        ]
+                    )
+                    assert all(response.ok for response in responses)
+                    assert sorted(r.coalesced for r in responses) == [False, True, True]
+                    # One execution: its 5 simulated configs are reported to
+                    # every ticket of the coalesced job, and the server-side
+                    # totals confirm nothing ran twice.
+                    assert {r.stats.sweep.configs_simulated for r in responses} == {5}
+                    assert len({r.ticket for r in responses}) == 3  # tickets stay distinct
+                    stats = await clients[0].stats()
+                    assert stats["queue"]["submitted"] == 3
+                    assert stats["queue"]["coalesced"] == 2
+                    assert stats["queue"]["completed"] == 1
+                    assert stats["stats"]["sweep"]["configs_simulated"] == 5
+                    for client in clients:
+                        await client.close()
+
+        run(scenario())
+
+    def test_overlapping_design_points_simulate_exactly_once(self):
+        async def scenario():
+            # workers=1 keeps execution serial so the cache (not luck) carries
+            # the overlap between *different* request types.
+            async with ExperimentService(cache_dir=None, workers=1) as service:
+                server = await service.serve_tcp("127.0.0.1", 0)
+                port = server.sockets[0].getsockname()[1]
+                async with server:
+                    clients = [await ServeClient.connect("127.0.0.1", port) for _ in range(4)]
+                    responses = await asyncio.gather(
+                        clients[0].run_experiment("fig9", preset="fast", overrides=TINY),
+                        clients[1].run_experiment("fig9", preset="fast", overrides=TINY),
+                        clients[2].simulate(
+                            "alexnet", variants="fig9", preset="fast",
+                            overrides={"max_pallets": 2},
+                        ),
+                        clients[3].simulate(
+                            "alexnet", variants="fig9", preset="fast",
+                            overrides={"max_pallets": 2},
+                        ),
+                    )
+                    assert all(response.ok for response in responses)
+                    # fig9 over alexnet needs 5 design points; the simulate op
+                    # requests the same 5 units.  Each identical pair coalesced
+                    # onto one job, and whichever unique job ran second found
+                    # the first one's entries: across the run, each unique
+                    # simulation ran exactly once.
+                    executed = [r for r in responses if not r.coalesced]
+                    assert len(executed) == 2
+                    total = sum(r.stats.sweep.configs_simulated for r in executed)
+                    assert total == 5
+                    stats = await clients[0].stats()
+                    assert stats["stats"]["sweep"]["configs_simulated"] == 5
+                    assert stats["queue"]["coalesced"] == 2  # one per identical pair
+                    for client in clients:
+                        await client.close()
+
+        run(scenario())
+
+    @pytest.mark.slow
+    def test_warm_server_answers_concurrent_fig9_fast_without_recompute(self, tmp_path):
+        """Acceptance: two concurrent identical ``fig9 --preset fast`` requests
+        against a warm-cache server cost exactly one cached, zero-recompute
+        simulation pass, proven by the RunStats counters in the responses."""
+
+        async def scenario():
+            async with ExperimentService(cache_dir=tmp_path, workers=2) as service:
+                server = await service.serve_tcp("127.0.0.1", 0)
+                port = server.sockets[0].getsockname()[1]
+                async with server:
+                    client = await ServeClient.connect("127.0.0.1", port)
+                    other = await ServeClient.connect("127.0.0.1", port)
+                    # Warm the shared cache through the server itself.
+                    cold = await client.run_experiment("fig9", preset="fast")
+                    assert cold.ok and cold.stats.sweep.configs_simulated > 0
+                    # Two concurrent identical requests: one job, zero recompute.
+                    a, b = await asyncio.gather(
+                        client.run_experiment("fig9", preset="fast"),
+                        other.run_experiment("fig9", preset="fast"),
+                    )
+                    assert a.ok and b.ok
+                    assert sorted((a.coalesced, b.coalesced)) == [False, True]
+                    for response in (a, b):
+                        assert response.stats.sweep.configs_simulated == 0
+                        assert response.stats.cache.misses == 0
+                        assert response.stats.cache.hits > 0
+                    assert a.result == cold.result == b.result
+                    stats = await client.stats()
+                    assert stats["queue"]["submitted"] == 3
+                    assert stats["queue"]["completed"] == 2  # cold + one warm job
+                    await client.close()
+                    await other.close()
+
+        run(scenario())
+
+
+# ---------------------------------------------------------------------- fronts
+class TestFrontEnds:
+    def test_stdio_protocol_round_trip(self):
+        lines = [
+            {"id": "1", "op": "ping"},
+            {"id": "2", "op": "run_experiment", "experiment": "table3", "preset": "smoke"},
+            {"op": "shutdown"},
+        ]
+        stdin = io.StringIO("".join(json.dumps(line) + "\n" for line in lines))
+        stdout = io.StringIO()
+
+        async def scenario():
+            service = ExperimentService(cache_dir=None, workers=1)
+            await service.run_stdio(stdin=stdin, stdout=stdout)
+
+        run(scenario())
+        events = [json.loads(line) for line in stdout.getvalue().splitlines()]
+        by_id = {}
+        for event in events:
+            by_id.setdefault(event.get("id"), []).append(event["event"])
+        assert by_id["1"] == ["pong"]
+        assert by_id["2"] == ["queued", "running", "done"]
+        assert by_id[None] == ["shutdown"]
+        done = [e for e in events if e["event"] == "done"][0]
+        assert done["result"]["experiment"]["experiment"] == "table3"
+
+    def test_cli_selftest(self, capsys):
+        assert serve_main(["--selftest"]) == 0
+        assert "selftest ok" in capsys.readouterr().out
+
+    def test_cli_rejects_bad_arguments(self):
+        with pytest.raises(SystemExit):
+            serve_main(["--workers", "0", "--selftest"])
+        with pytest.raises(SystemExit):
+            serve_main(["--tcp", "nonsense"])
+
+    def test_shutdown_op_stops_a_tcp_server(self):
+        async def scenario():
+            async with ExperimentService(cache_dir=None, workers=1) as service:
+                server = await service.serve_tcp("127.0.0.1", 0)
+                port = server.sockets[0].getsockname()[1]
+                async with server:
+                    client = await ServeClient.connect("127.0.0.1", port)
+                    await client.shutdown()
+                    # The front-end's wait returns promptly after the op.
+                    await asyncio.wait_for(service.wait_shutdown(), timeout=5)
+                    await client.close()
+
+        run(scenario())
+
+    def test_client_waiters_fail_fast_when_the_connection_dies(self):
+        async def scenario():
+            async with ExperimentService(cache_dir=None, workers=1) as service:
+                server = await service.serve_tcp("127.0.0.1", 0)
+                port = server.sockets[0].getsockname()[1]
+                async with server:
+                    client = await ServeClient.connect("127.0.0.1", port)
+                    waiter = asyncio.create_task(
+                        client.run_experiment("fig9", preset="fast", overrides=TINY)
+                    )
+                    await asyncio.sleep(0.1)  # request in flight
+                    server.close()  # kill the transport under the client
+                    client._writer.transport.abort()
+                    response = await asyncio.wait_for(waiter, timeout=10)
+                    assert not response.ok
+                    assert response.error == "connection closed"
+                    await client.close()
+
+        run(scenario())
