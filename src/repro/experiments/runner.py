@@ -8,21 +8,30 @@ regenerate every table and figure in parallel with a warm result cache::
 
     python -m repro.experiments.runner --all --preset full --jobs 4
 
-or list what is available::
+list what is available::
 
     python -m repro.experiments.runner --list
+
+or maintain the on-disk result cache::
+
+    python -m repro.experiments.runner --cache-stats
+    python -m repro.experiments.runner --cache-gc --max-bytes 500M --max-age 30d
+    python -m repro.experiments.runner --cache-clear
 
 ``python -m repro`` is an alias for this module, and the installed console
 script is ``repro-experiments``.  Runs are executed by :mod:`repro.runtime`:
 ``--jobs N`` fans simulation and experiment jobs out over a process pool,
 ``--cache-dir``/``--no-cache`` control the content-addressed result cache, and
-``--out DIR`` exports one JSON artifact per experiment.
+``--out DIR`` exports one JSON artifact per experiment.  The cache verbs read
+the manifest maintained by :mod:`repro.runtime.lifecycle` — no directory
+scans — and garbage collection evicts least-recently-used entries first.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable
 
 from repro.experiments import (
@@ -49,6 +58,89 @@ __all__ = [
     "run_all",
     "main",
 ]
+
+#: Multipliers of the ``--max-bytes`` size suffixes (binary, case-insensitive).
+_SIZE_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3}
+
+#: Multipliers of the ``--max-age`` duration suffixes.
+_AGE_SUFFIXES = {"s": 1, "m": 60, "h": 3600, "d": 86400}
+
+
+def _parse_size(value: str) -> int:
+    """``"500M"`` → bytes (plain integers and K/M/G suffixes)."""
+    text = value.strip().lower()
+    factor = 1
+    if text and text[-1] in _SIZE_SUFFIXES:
+        factor = _SIZE_SUFFIXES[text[-1]]
+        text = text[:-1]
+    try:
+        number = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a byte size like 1048576 or 500M, got {value!r}"
+        ) from None
+    if number < 0:
+        raise argparse.ArgumentTypeError("byte size must be non-negative")
+    return number * factor
+
+
+def _parse_age(value: str) -> float:
+    """``"30d"`` → seconds (plain numbers and s/m/h/d suffixes)."""
+    text = value.strip().lower()
+    factor = 1
+    if text and text[-1] in _AGE_SUFFIXES:
+        factor = _AGE_SUFFIXES[text[-1]]
+        text = text[:-1]
+    try:
+        number = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an age like 3600, 90m or 30d, got {value!r}"
+        ) from None
+    if number < 0:
+        raise argparse.ArgumentTypeError("age must be non-negative")
+    return number * factor
+
+
+def _format_bytes(count: int) -> str:
+    """Human-readable rendering next to the exact byte count."""
+    size = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024
+    return f"{count} B"  # pragma: no cover - loop always returns
+
+
+def _cache_maintenance(args) -> int:
+    """Handle ``--cache-stats`` / ``--cache-gc`` / ``--cache-clear``."""
+    from repro.runtime import ResultCache, default_cache_dir
+
+    directory = Path(args.cache_dir or default_cache_dir()).expanduser()
+    if not directory.is_dir():
+        # Read-only verbs must not conjure directories (a typo'd --cache-dir
+        # would silently look like an empty cache).
+        print(f"cache dir: {directory} (does not exist)")
+        return 0
+    cache = ResultCache(directory=directory)
+    if args.cache_clear:
+        removed = cache.clear()
+        print(f"cache dir: {cache.directory}")
+        print(f"cleared {removed} entries")
+        return 0
+    if args.cache_gc:
+        result = cache.gc(max_bytes=args.max_bytes, max_age=args.max_age)
+        print(f"cache dir: {cache.directory}")
+        print(f"gc: {result.summary()}")
+        return 0
+    usage = cache.usage()
+    print(f"cache dir: {cache.directory}")
+    print(f"entries: {usage['entries']}")
+    print(f"disk bytes: {usage['disk_bytes']} ({_format_bytes(usage['disk_bytes'])})")
+    if usage["oldest_age_seconds"] is not None:
+        print(f"oldest entry age: {usage['oldest_age_seconds']:.0f}s")
+        print(f"least-recently-used age: {usage['lru_age_seconds']:.0f}s")
+    return 0
 
 #: Registry of experiment id → run function, in the paper's presentation order.
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
@@ -129,7 +221,42 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="export one JSON artifact per experiment into DIR",
     )
+    maintenance = parser.add_argument_group("cache maintenance")
+    maintenance.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="report entry count, disk usage and entry ages from the cache manifest",
+    )
+    maintenance.add_argument(
+        "--cache-gc",
+        action="store_true",
+        help="garbage-collect the cache (LRU-first) down to --max-bytes/--max-age",
+    )
+    maintenance.add_argument(
+        "--cache-clear", action="store_true", help="delete every cache entry"
+    )
+    maintenance.add_argument(
+        "--max-bytes",
+        type=_parse_size,
+        default=None,
+        metavar="SIZE",
+        help="gc byte cap (plain bytes or K/M/G suffix, e.g. 500M)",
+    )
+    maintenance.add_argument(
+        "--max-age",
+        type=_parse_age,
+        default=None,
+        metavar="AGE",
+        help="gc age cap on last use (seconds or s/m/h/d suffix, e.g. 30d)",
+    )
     args = parser.parse_args(argv)
+
+    if args.cache_stats or args.cache_gc or args.cache_clear:
+        if args.no_cache:
+            parser.error("cache maintenance verbs require a disk cache (drop --no-cache)")
+        if args.cache_gc and args.max_bytes is None and args.max_age is None:
+            parser.error("--cache-gc needs --max-bytes and/or --max-age")
+        return _cache_maintenance(args)
 
     if args.list:
         width = max(len(name) for name in EXPERIMENTS)
@@ -143,10 +270,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--jobs must be at least 1")
 
     from repro.runtime import run_experiments
-    from repro.runtime.session import DEFAULT_CACHE_DIR
+    from repro.runtime.session import default_cache_dir
 
     names = list(EXPERIMENTS) if args.all else [args.experiment]
-    cache_dir = None if args.no_cache else (args.cache_dir or DEFAULT_CACHE_DIR)
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
     report = run_experiments(
         names,
         preset=args.preset,

@@ -12,6 +12,7 @@ Layering::
 
     fingerprint   stable content hashes (no repro dependencies)
     serialization NetworkResult/LayerResult <-> JSON payloads
+    lifecycle     manifest index, gzip entry codec, LRU garbage collection
     cache         content-addressed result cache (memory / disk / disabled)
     trace_store   TraceSpec + per-session calibrated-trace store
     session       RuntimeSession (cache + traces + stats) and the active session
@@ -39,20 +40,27 @@ from repro.runtime.jobs import (
     StatisticsJob,
     build_plan,
 )
+from repro.runtime.lifecycle import CacheManifest, GCResult
 from repro.runtime.scheduler import RunReport, run_experiments
 from repro.runtime.session import (
+    DEFAULT_CACHE_DIR,
     RunStats,
     RuntimeSession,
     configure_session,
     current_session,
+    default_cache_dir,
     isolated_session,
     use_session,
 )
 from repro.runtime.trace_store import TraceSpec, TraceStore
 
 __all__ = [
+    "CacheManifest",
     "CacheStats",
+    "DEFAULT_CACHE_DIR",
+    "GCResult",
     "ResultCache",
+    "default_cache_dir",
     "SimulationRequest",
     "StatisticsRequest",
     "analyze",

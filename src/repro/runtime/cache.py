@@ -3,71 +3,117 @@
 One :class:`ResultCache` stores JSON payloads under fingerprint keys (see
 :mod:`repro.runtime.fingerprint`).  Three modes share the interface:
 
-* **disk** (``directory`` set) — one ``<key>.json`` file per entry, written
-  atomically so concurrent process-pool workers can share the directory; an
-  in-process memo avoids re-reading entries this process already touched.
+* **disk** (``directory`` set) — one gzip-compressed ``<key>.json.gz`` file
+  per entry, written atomically so concurrent process-pool workers can share
+  the directory (legacy uncompressed ``<key>.json`` entries remain
+  readable); a *bounded* in-process memo avoids re-reading entries this
+  process already touched, and a persistent manifest
+  (:mod:`repro.runtime.lifecycle`) indexes sizes and LRU timestamps so
+  ``len(cache)``, :meth:`ResultCache.usage` and garbage collection never
+  scan the directory.
 * **memory** (``directory=None``) — a per-process dict; the default for
-  library use so importing ``repro`` never writes to disk.
+  library use so importing ``repro`` never writes to disk.  The memo *is*
+  the store here, so it is never evicted.
 * **disabled** (``ResultCache.disabled()``) — every lookup misses and stores
   are dropped (the ``--no-cache`` mode).
 
 Corrupted entries (truncated writes, manual edits, schema drift) are treated
 as misses: the entry is deleted, ``stats.errors`` is incremented and the
-caller recomputes.  The key scheme the cache is addressed by is documented in
-``docs/runtime.md``.
+caller recomputes.  The key scheme the cache is addressed by, the on-disk
+layout and the GC policy are documented in ``docs/runtime.md``.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import tempfile
-from dataclasses import dataclass, field
+import collections
+from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["CacheStats", "ResultCache"]
+from repro.runtime import lifecycle
+
+__all__ = ["CacheStats", "ResultCache", "DEFAULT_MEMO_ENTRIES"]
 
 #: Format version of on-disk entries; mismatches are treated as corruption.
 ENTRY_SCHEMA = 1
 
+#: Default bound on the in-process memo of a *disk* cache.  A long-lived
+#: serve process used to retain every payload it ever touched; beyond this
+#: many, the least-recently-used memo entries are dropped (the disk copy
+#: still hits).
+DEFAULT_MEMO_ENTRIES = 512
+
 
 @dataclass
 class CacheStats:
-    """Counters describing how a cache behaved during a run."""
+    """Counters describing how a cache behaved during a run.
+
+    ``hits``/``misses``/``stores``/``errors`` are counters (summed by
+    :meth:`merge`).  ``disk_entries``/``disk_bytes``/``memo_entries`` and
+    ``oldest_age_seconds`` are *gauges* describing current cache state —
+    populated by :meth:`ResultCache.snapshot`, merged by ``max`` (merging
+    snapshots of one shared cache must not double its size).
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     errors: int = 0
+    disk_entries: int = 0
+    disk_bytes: int = 0
+    memo_entries: int = 0
+    oldest_age_seconds: float = 0.0
 
     def merge(self, other: "CacheStats | dict") -> None:
-        """Accumulate counters from another stats object (or its dict form)."""
+        """Accumulate counters (and max gauges) from another stats object."""
         if isinstance(other, CacheStats):
             other = other.as_dict()
         self.hits += other.get("hits", 0)
         self.misses += other.get("misses", 0)
         self.stores += other.get("stores", 0)
         self.errors += other.get("errors", 0)
+        self.disk_entries = max(self.disk_entries, other.get("disk_entries", 0))
+        self.disk_bytes = max(self.disk_bytes, other.get("disk_bytes", 0))
+        self.memo_entries = max(self.memo_entries, other.get("memo_entries", 0))
+        self.oldest_age_seconds = max(
+            self.oldest_age_seconds, other.get("oldest_age_seconds", 0.0)
+        )
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict:
         return {
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
             "errors": self.errors,
+            "disk_entries": self.disk_entries,
+            "disk_bytes": self.disk_bytes,
+            "memo_entries": self.memo_entries,
+            "oldest_age_seconds": self.oldest_age_seconds,
         }
 
 
 class ResultCache:
     """Content-addressed cache of JSON payloads keyed by fingerprint."""
 
-    def __init__(self, directory: str | Path | None = None, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        enabled: bool = True,
+        memo_entries: int = DEFAULT_MEMO_ENTRIES,
+    ) -> None:
         self.directory = Path(directory).expanduser() if directory is not None else None
         self.enabled = enabled
+        self.memo_entries = memo_entries
         self.stats = CacheStats()
-        self._memory: dict[str, dict] = {}
+        #: LRU memo keyed by ``(key, kind)`` — the kind is part of the memo
+        #: key so an entry stored under one kind can never answer a lookup
+        #: for another (the disk path always enforced this).
+        self._memory: collections.OrderedDict[tuple[str, str], dict] = (
+            collections.OrderedDict()
+        )
+        self.manifest: lifecycle.CacheManifest | None = None
         if self.enabled and self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
+            self.manifest = lifecycle.CacheManifest(self.directory)
 
     @classmethod
     def disabled(cls) -> "ResultCache":
@@ -79,44 +125,73 @@ class ResultCache:
         """Whether entries survive this process (i.e. the cache is on disk)."""
         return self.enabled and self.directory is not None
 
-    def _path(self, key: str) -> Path:
-        assert self.directory is not None
-        return self.directory / f"{key}.json"
+    # ------------------------------------------------------------------- memo
+    def _memo_get(self, key: str, kind: str) -> dict | None:
+        payload = self._memory.get((key, kind))
+        if payload is not None:
+            self._memory.move_to_end((key, kind))
+        return payload
 
-    # ------------------------------------------------------------------ lookup
+    def _memo_put(self, key: str, kind: str, payload: dict) -> None:
+        self._memory[(key, kind)] = payload
+        self._memory.move_to_end((key, kind))
+        # Only a disk cache may evict: in memory mode the memo is the store.
+        if self.directory is not None:
+            while len(self._memory) > self.memo_entries:
+                self._memory.popitem(last=False)
+
+    def _memo_drop(self, key: str) -> None:
+        for memo_key in [mk for mk in self._memory if mk[0] == key]:
+            del self._memory[memo_key]
+
+    # ----------------------------------------------------------------- lookup
+    def _drop_corrupt(self, path: Path, key: str) -> None:
+        """Remove a corrupted entry (file + manifest record), counting the error."""
+        self.stats.errors += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        if self.manifest is not None:
+            self.manifest.record_remove(key)
+
     def get(self, key: str, kind: str = "network_result") -> dict | None:
         """Payload stored under ``key``, or ``None`` on a miss."""
         if not self.enabled:
             self.stats.misses += 1
             return None
-        if key in self._memory:
+        payload = self._memo_get(key, kind)
+        if payload is not None:
             self.stats.hits += 1
-            return self._memory[key]
+            if self.manifest is not None:
+                # Memo hits must advance the on-disk LRU clock too, or GC
+                # would evict the hottest entries first (record_use is
+                # throttled, so this stays cheap on the hot path).
+                self.manifest.record_use(key)
+            return payload
         if self.directory is None:
             self.stats.misses += 1
             return None
-        path = self._path(key)
+        path = lifecycle.find_entry(self.directory, key)
+        if path is None:
+            self.stats.misses += 1
+            return None
         try:
-            entry = json.loads(path.read_text(encoding="utf-8"))
+            entry = lifecycle.read_entry(path)
             if entry["schema"] != ENTRY_SCHEMA or entry["kind"] != kind:
                 raise ValueError("cache entry schema mismatch")
             payload = entry["payload"]
             if not isinstance(payload, dict):
                 raise ValueError("cache entry payload is not an object")
-        except FileNotFoundError:
-            self.stats.misses += 1
-            return None
         except (OSError, ValueError, KeyError, TypeError):
             # Corrupted entry: drop it and recompute.
-            self.stats.errors += 1
             self.stats.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._drop_corrupt(path, key)
             return None
         self.stats.hits += 1
-        self._memory[key] = payload
+        self._memo_put(key, kind, payload)
+        if self.manifest is not None:
+            self.manifest.record_use(key)
         return payload
 
     def contains(self, key: str, kind: str = "network_result") -> bool:
@@ -130,34 +205,30 @@ class ResultCache:
         """
         if not self.enabled:
             return False
-        if key in self._memory:
+        if self._memo_get(key, kind) is not None:
             return True
         if self.directory is None:
             return False
-        path = self._path(key)
+        path = lifecycle.find_entry(self.directory, key)
+        if path is None:
+            return False
         try:
-            entry = json.loads(path.read_text(encoding="utf-8"))
+            entry = lifecycle.read_entry(path)
             valid = (
                 entry["schema"] == ENTRY_SCHEMA
                 and entry["kind"] == kind
                 and isinstance(entry["payload"], dict)
             )
-        except FileNotFoundError:
-            return False
         except (OSError, ValueError, KeyError, TypeError):
             valid = False
         if not valid:
-            self.stats.errors += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._drop_corrupt(path, key)
             return False
         return True
 
     # ------------------------------------------------------------------ store
     def put(self, key: str, payload: dict, kind: str = "network_result") -> None:
-        """Store ``payload`` under ``key`` (atomic on disk).
+        """Store ``payload`` under ``key`` (atomic, compressed on disk).
 
         Disk failures (read-only directory, disk full) are not fatal: the
         entry stays available in memory for this process and the failure is
@@ -165,31 +236,81 @@ class ResultCache:
         """
         if not self.enabled:
             return
-        self._memory[key] = payload
+        self._memo_put(key, kind, payload)
         self.stats.stores += 1
         if self.directory is None:
             return
         entry = {"schema": ENTRY_SCHEMA, "kind": kind, "key": key, "payload": payload}
-        text = json.dumps(entry, sort_keys=True)
-        tmp_name = None
         try:
-            descriptor, tmp_name = tempfile.mkstemp(
-                dir=self.directory, prefix=f".{key[:16]}-", suffix=".tmp"
-            )
-            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                handle.write(text)
-            os.replace(tmp_name, self._path(key))
+            size = lifecycle.write_entry(self.directory, key, entry)
         except OSError:
             self.stats.errors += 1
-            if tmp_name is not None:
-                try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
+            return
+        if self.manifest is not None:
+            self.manifest.record_store(key, kind, size)
+
+    # -------------------------------------------------------------- lifecycle
+    def usage(self) -> dict:
+        """Current cache state: entries, disk bytes, ages, memo size.
+
+        Disk numbers come from the manifest — no directory scan.
+        """
+        usage = {
+            "entries": len(self),
+            "memo_entries": len(self._memory),
+            "directory": str(self.directory) if self.directory is not None else None,
+        }
+        if self.manifest is not None:
+            manifest_stats = self.manifest.stats()
+            usage["entries"] = manifest_stats["entries"]
+            usage["disk_bytes"] = manifest_stats["bytes"]
+            usage["oldest_age_seconds"] = manifest_stats["oldest_age_seconds"]
+            usage["lru_age_seconds"] = manifest_stats["lru_age_seconds"]
+        else:
+            usage["disk_bytes"] = 0
+            usage["oldest_age_seconds"] = None
+            usage["lru_age_seconds"] = None
+        return usage
+
+    def snapshot(self) -> CacheStats:
+        """This cache's counters plus current state gauges (see CacheStats)."""
+        snapshot = CacheStats()
+        snapshot.merge(self.stats)
+        usage = self.usage()
+        snapshot.disk_entries = usage["entries"] if self.persistent else 0
+        snapshot.disk_bytes = usage["disk_bytes"]
+        snapshot.memo_entries = usage["memo_entries"]
+        snapshot.oldest_age_seconds = usage["oldest_age_seconds"] or 0.0
+        return snapshot
+
+    def gc(
+        self, max_bytes: int | None = None, max_age: float | None = None
+    ) -> lifecycle.GCResult:
+        """Garbage-collect the disk cache (LRU-first; see ``CacheManifest.gc``).
+
+        Evicted keys are also dropped from the in-process memo so a bounded
+        cache never serves an entry GC decided to retire.  A memory-only or
+        disabled cache has nothing to collect and returns an empty result.
+        """
+        if self.manifest is None:
+            return lifecycle.GCResult()
+        result = self.manifest.gc(max_bytes=max_bytes, max_age=max_age)
+        for key in result.removed_keys:
+            self._memo_drop(key)
+        return result
+
+    def clear(self) -> int:
+        """Remove every entry (disk and memo); returns disk entries removed."""
+        removed = 0
+        if self.manifest is not None:
+            removed = self.manifest.clear()
+        self._memory.clear()
+        return removed
 
     def __len__(self) -> int:
         if not self.enabled:
             return 0
         if self.directory is None:
             return len(self._memory)
-        return sum(1 for _ in self.directory.glob("*.json"))
+        assert self.manifest is not None
+        return len(self.manifest)

@@ -66,9 +66,16 @@ class RunReport:
     mode: str  # "parallel" | "serial" | "serial-fallback"
     cache_dir: str | None = None
     statistics_jobs: int = 0
+    cache_entries: int = 0
+    cache_disk_bytes: int = 0
 
     def summary(self) -> str:
         """Multi-line, human-readable run summary (printed by the CLI)."""
+        cache_line = f"cache dir: {self.cache_dir or '(memory only)'}"
+        if self.cache_dir is not None:
+            cache_line += (
+                f"  ({self.cache_entries} entries, {self.cache_disk_bytes} bytes)"
+            )
         lines = [
             "== run summary ==",
             f"experiments: {len(self.results)}  preset: {self.preset}  seed: {self.seed}",
@@ -77,7 +84,7 @@ class RunReport:
             f"statistics jobs: {self.statistics_jobs}  "
             f"planned cache hits: {self.planned_cache_hits}",
             f"{self.stats.summary()}",
-            f"cache dir: {self.cache_dir or '(memory only)'}",
+            cache_line,
             f"elapsed: {self.elapsed_seconds:.1f}s",
         ]
         return "\n".join(lines)
@@ -265,6 +272,9 @@ def run_experiments(
         results = _run_serial(names, preset, seed, session)
 
     stats.merge(_stats_delta(session.stats().as_dict(), session_stats_before))
+    if mode == "parallel" and getattr(session.cache, "manifest", None) is not None:
+        session.cache.manifest.refresh()  # pool workers wrote the shared index
+    usage = session.cache.usage() if hasattr(session.cache, "usage") else {}
     return RunReport(
         results=results,
         stats=stats,
@@ -277,4 +287,6 @@ def run_experiments(
         mode=mode,
         cache_dir=str(session.cache.directory) if session.cache.directory else None,
         statistics_jobs=len(plan.statistics),
+        cache_entries=usage.get("entries", 0),
+        cache_disk_bytes=usage.get("disk_bytes", 0) or 0,
     )

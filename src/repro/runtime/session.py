@@ -33,13 +33,21 @@ __all__ = [
     "RuntimeSession",
     "configure_session",
     "current_session",
+    "default_cache_dir",
     "isolated_session",
     "use_session",
 ]
 
-#: Default on-disk cache location of the CLI (overridable via the
-#: ``REPRO_CACHE_DIR`` environment variable or ``--cache-dir``).
-DEFAULT_CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR", "~/.cache/repro-pragmatic"))
+#: Fallback on-disk cache location of the CLI when ``REPRO_CACHE_DIR`` is
+#: unset.  Deliberately *not* resolved against the environment here: the env
+#: var is read at call time by :func:`default_cache_dir`, so setting it after
+#: ``repro`` is imported (tests, embedding apps, serve wrappers) still works.
+DEFAULT_CACHE_DIR = Path("~/.cache/repro-pragmatic")
+
+
+def default_cache_dir() -> Path:
+    """The CLI's default cache directory, resolving ``REPRO_CACHE_DIR`` *now*."""
+    return Path(os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR)
 
 
 @dataclass

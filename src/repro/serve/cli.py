@@ -21,7 +21,7 @@ import argparse
 import asyncio
 import sys
 
-from repro.runtime.session import DEFAULT_CACHE_DIR
+from repro.runtime.session import default_cache_dir
 
 __all__ = ["main"]
 
@@ -118,7 +118,7 @@ def main(argv: list[str] | None = None) -> int:
 
     from repro.serve.service import ExperimentService
 
-    cache_dir = None if args.no_cache else (args.cache_dir or DEFAULT_CACHE_DIR)
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
     service = ExperimentService(
         cache_dir=cache_dir, no_cache=args.no_cache, workers=args.workers
     )

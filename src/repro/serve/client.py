@@ -179,6 +179,15 @@ class ServeClient:
     async def stats(self) -> dict:
         return await self._roundtrip({"op": "stats"})
 
+    async def gc(self, max_bytes: int | None = None, max_age: float | None = None) -> dict:
+        """Garbage-collect the server's disk cache (LRU-first, bounded)."""
+        message: dict = {"op": "gc"}
+        if max_bytes is not None:
+            message["max_bytes"] = max_bytes
+        if max_age is not None:
+            message["max_age"] = max_age
+        return await self._roundtrip(message)
+
     async def list_experiments(self) -> dict:
         return await self._roundtrip({"op": "list"})
 

@@ -39,8 +39,9 @@ __all__ = [
 #: Ops that enqueue work (parsed into typed requests).
 JOB_OPS = ("run_experiment", "run_all", "simulate")
 
-#: Ops answered immediately by the service.
-CONTROL_OPS = ("status", "cancel", "stats", "list", "ping", "shutdown")
+#: Ops answered immediately by the service (``gc`` garbage-collects the
+#: shared disk cache: optional ``max_bytes``/``max_age`` bounds, LRU-first).
+CONTROL_OPS = ("status", "cancel", "stats", "gc", "list", "ping", "shutdown")
 
 #: Preset fields a request may override.
 _OVERRIDE_FIELDS = ("networks", "samples_per_layer", "max_pallets")

@@ -108,8 +108,22 @@ class RequestQueue:
         request: ServeRequest,
         on_event: Callable[[Ticket, str], None] | None = None,
     ) -> Ticket:
-        """Enqueue ``request`` (or coalesce it onto an identical in-flight job)."""
+        """Enqueue ``request`` (or coalesce it onto an identical in-flight job).
+
+        Once :meth:`stop_workers` has been called the backlog is already
+        abandoned and no worker will ever pull again, so a late submission
+        is failed immediately — its ticket resolves (and its events fire)
+        instead of hanging forever.
+        """
         key = request.key()
+        if self.stopping:
+            job = Job(key, request)
+            ticket = Ticket(f"t{next(self._counter)}", job, False, on_event)
+            job.tickets.append(ticket)
+            self._tickets[ticket.ticket_id] = ticket
+            self.submitted += 1
+            self.finish(job, error="service is stopping; submission rejected")
+            return ticket
         job = self._inflight.get(key)
         coalesced = job is not None
         if job is None:

@@ -112,8 +112,13 @@ class ExperimentService:
 
     # ----------------------------------------------------------------- requests
     async def submit(self, request: ServeRequest, on_event=None) -> Ticket:
-        """Enqueue a typed request; returns its ticket immediately."""
-        if not self._started:
+        """Enqueue a typed request; returns its ticket immediately.
+
+        After :meth:`stop` the queue is stopping: the request is not enqueued
+        (and the worker pool is *not* restarted) — the returned ticket fails
+        immediately so the caller's wait resolves instead of hanging.
+        """
+        if not self._started and not self.queue.stopping:
             await self.start()
         return self.queue.submit(request, on_event=on_event)
 
@@ -161,18 +166,54 @@ class ExperimentService:
         return {"event": "cancelled", "ticket": ticket_id, "changed": changed, "state": state}
 
     def stats(self) -> dict:
+        cache = self.session.cache
+        if hasattr(cache, "usage"):
+            usage = cache.usage()
+        else:  # a custom session may serve from a cache-like object
+            usage = {
+                "entries": len(cache),
+                "disk_bytes": 0,
+                "memo_entries": 0,
+                "oldest_age_seconds": None,
+                "lru_age_seconds": None,
+                "directory": (
+                    str(cache.directory) if getattr(cache, "directory", None) else None
+                ),
+            }
+        totals = RunStats()
+        totals.merge(self.totals)
+        if hasattr(cache, "snapshot"):
+            # Fold the current state gauges into the lifetime counters, so
+            # the wire payload's ``stats.cache`` carries disk usage and
+            # entry age alongside hits/misses (see CacheStats).
+            snap = cache.snapshot()
+            totals.cache.disk_entries = snap.disk_entries
+            totals.cache.disk_bytes = snap.disk_bytes
+            totals.cache.memo_entries = snap.memo_entries
+            totals.cache.oldest_age_seconds = snap.oldest_age_seconds
         return {
             "event": "stats",
-            "stats": self.totals.as_dict(),
+            "stats": totals.as_dict(),
             "queue": self.queue.depth(),
-            "cache_dir": (
-                str(self.session.cache.directory)
-                if getattr(self.session.cache, "directory", None)
-                else None
-            ),
-            "cache_entries": len(self.session.cache),
+            "cache_dir": usage["directory"],
+            "cache_entries": usage["entries"],
+            "cache": usage,
             "traces": len(self.session.traces),
             "workers": self.pool.workers,
+        }
+
+    def collect_garbage(self, max_bytes: int | None = None, max_age: float | None = None) -> dict:
+        """Garbage-collect the shared disk cache (the ``gc`` op)."""
+        cache = self.session.cache
+        if not getattr(cache, "persistent", False) or not hasattr(cache, "gc"):
+            return {"event": "error", "error": "no disk cache to garbage-collect"}
+        result = cache.gc(max_bytes=max_bytes, max_age=max_age)
+        return {
+            "event": "gc",
+            "removed_entries": result.removed_entries,
+            "removed_bytes": result.removed_bytes,
+            "remaining_entries": result.remaining_entries,
+            "remaining_bytes": result.remaining_bytes,
         }
 
     def list_experiments(self) -> dict:
@@ -209,6 +250,17 @@ class ExperimentService:
             reply(self.list_experiments())
         elif op == "stats":
             reply(self.stats())
+        elif op == "gc":
+            bounds = {}
+            for name in ("max_bytes", "max_age"):
+                value = message.get(name)
+                if value is not None and (
+                    not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0
+                ):
+                    reply({"event": "error", "error": f"{name} must be a non-negative number"})
+                    return True
+                bounds[name] = value
+            reply(self.collect_garbage(**bounds))
         elif op == "status":
             reply(self.status(str(message.get("ticket", ""))))
         elif op == "cancel":

@@ -1,5 +1,6 @@
 """Tests for the content-addressed result cache and the trace store."""
 
+import gzip
 import json
 
 import pytest
@@ -57,13 +58,25 @@ class TestDiskCache:
     def test_corrupted_entries_recover_as_misses(self, tmp_path, garbage):
         cache = ResultCache(directory=tmp_path)
         cache.put("k", PAYLOAD)
-        path = tmp_path / "k.json"
-        path.write_text(garbage)
+        path = tmp_path / "k.json.gz"
+        path.write_text(garbage)  # not even gzip anymore
         fresh = ResultCache(directory=tmp_path)
         assert fresh.get("k") is None
         assert fresh.stats.errors == 1
         assert fresh.stats.misses == 1
         assert not path.exists()  # the bad entry was dropped
+
+    @pytest.mark.parametrize(
+        "garbage",
+        ["not json at all", "[]", '{"schema": 99, "kind": "network_result", "payload": {}}'],
+    )
+    def test_corrupted_legacy_entries_recover_as_misses(self, tmp_path, garbage):
+        path = tmp_path / "k.json"
+        path.write_text(garbage)
+        fresh = ResultCache(directory=tmp_path)
+        assert fresh.get("k") is None
+        assert fresh.stats.errors == 1
+        assert not path.exists()
 
     def test_kind_mismatch_is_corruption(self, tmp_path):
         cache = ResultCache(directory=tmp_path)
@@ -81,12 +94,26 @@ class TestDiskCache:
         assert cache.stats.errors == 1
         assert cache.get("k") == PAYLOAD  # memory copy still serves this process
 
-    def test_entries_are_valid_json_documents(self, tmp_path):
+    def test_entries_are_gzipped_json_documents(self, tmp_path):
         cache = ResultCache(directory=tmp_path)
         cache.put("k", PAYLOAD)
-        entry = json.loads((tmp_path / "k.json").read_text())
+        entry = json.loads(gzip.decompress((tmp_path / "k.json.gz").read_bytes()))
         assert entry["key"] == "k"
         assert entry["payload"] == PAYLOAD
+
+    def test_memo_is_keyed_by_kind(self, tmp_path):
+        # Regression: the in-memory memo used to ignore ``kind``, so an entry
+        # stored under one kind answered same-process lookups for another.
+        cache = ResultCache(directory=tmp_path)
+        cache.put("k", PAYLOAD, kind="network_result")
+        assert cache.get("k", kind="statistics_result") is None
+        assert cache.get("k", kind="network_result") == PAYLOAD
+        # Memory-only caches enforce the same contract.
+        memory = ResultCache()
+        memory.put("k", PAYLOAD, kind="network_result")
+        assert memory.get("k", kind="statistics_result") is None
+        assert not memory.contains("k", kind="statistics_result")
+        assert memory.contains("k", kind="network_result")
 
 
 class TestTraceStore:
@@ -117,7 +144,7 @@ class TestCorruptionEndToEnd:
         session = RuntimeSession(cache=ResultCache(directory=tmp_path))
         reference = simulate(request, session=session)["PRA-2b"]
         (key,) = request.keys().values()
-        (tmp_path / f"{key}.json").write_text("{truncated")
+        (tmp_path / f"{key}.json.gz").write_text("{truncated")
 
         recovered_session = RuntimeSession(cache=ResultCache(directory=tmp_path))
         recovered = simulate(request, session=recovered_session)["PRA-2b"]

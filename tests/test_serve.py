@@ -196,6 +196,28 @@ class TestRequestQueue:
 
         run(scenario())
 
+    def test_submit_on_a_stopping_queue_fails_fast(self):
+        # Regression: a submission after stop_workers()/abandon_pending() was
+        # enqueued behind drained workers and its ticket hung forever.
+        async def scenario():
+            queue = RequestQueue()
+            queue.stop_workers(1)
+            queue.abandon_pending()
+            events = []
+            ticket = queue.submit(
+                StubRequest("late"), on_event=lambda t, event: events.append(event)
+            )
+            assert ticket.state == "failed"
+            assert ticket.job.done.is_set()  # waiters resolve immediately
+            assert "rejected" in ticket.job.error
+            assert events == ["failed"]
+            assert queue.depth()["failed"] == 1
+            assert queue.depth()["queued"] == 0  # nothing was enqueued
+            # Workers woken afterwards still see the stop sentinel.
+            assert await queue.next_job() is None
+
+        run(scenario())
+
     def test_finished_tickets_are_evicted_beyond_the_history_bound(self, monkeypatch):
         # A long-lived server must not retain every result payload forever.
         import repro.serve.queue as queue_module
@@ -230,7 +252,7 @@ class TestStatsViews:
 
         seed = ResultCache(directory=tmp_path)
         seed.put("deadbeef", {"x": 1})
-        (tmp_path / "deadbeef.json").write_text("garbage", encoding="utf-8")
+        (tmp_path / "deadbeef.json.gz").write_text("garbage", encoding="utf-8")
         # Fresh inner cache (no in-process memo) behind a per-request view.
         view = _CacheView(ResultCache(directory=tmp_path))
         assert view.get("deadbeef") is None
@@ -291,6 +313,67 @@ class TestServiceInProcess:
                 stats = service.stats()
                 assert stats["queue"]["completed"] == 1
                 assert stats["workers"] == 1
+                # The richer cache section is always present (memory mode here).
+                assert stats["cache"]["memo_entries"] >= 0
+                assert stats["cache"]["disk_bytes"] == 0
+                assert stats["cache"]["directory"] is None
+
+        run(scenario())
+
+    def test_stats_op_reports_manifest_backed_disk_usage(self, tmp_path):
+        async def scenario():
+            async with ExperimentService(cache_dir=tmp_path, workers=1) as service:
+                service.session.cache.put("deadbeef", {"x": 1})
+                stats = service.stats()
+                assert stats["cache_dir"] == str(tmp_path)
+                assert stats["cache_entries"] == 1
+                assert stats["cache"]["entries"] == 1
+                assert stats["cache"]["disk_bytes"] > 0
+                assert stats["cache"]["memo_entries"] == 1
+                assert stats["cache"]["oldest_age_seconds"] is not None
+
+        run(scenario())
+
+    def test_gc_op_collects_the_shared_disk_cache(self, tmp_path):
+        async def scenario():
+            async with ExperimentService(cache_dir=tmp_path, workers=1) as service:
+                service.session.cache.put("deadbeef", {"x": 1})
+                sent = []
+                keep = await service.handle_message({"op": "gc"}, sent.append)
+                assert keep and sent[-1]["event"] == "gc"
+                assert sent[-1]["removed_entries"] == 0  # no bounds: no-op
+                await service.handle_message({"op": "gc", "max_bytes": 0}, sent.append)
+                assert sent[-1]["event"] == "gc"
+                assert sent[-1]["removed_entries"] == 1
+                assert sent[-1]["remaining_bytes"] == 0
+                assert len(service.session.cache) == 0
+                await service.handle_message({"op": "gc", "max_bytes": -3}, sent.append)
+                assert sent[-1]["event"] == "error"
+
+        run(scenario())
+
+    def test_gc_op_without_a_disk_cache_is_an_error(self):
+        async def scenario():
+            async with ExperimentService(cache_dir=None, workers=1) as service:
+                sent = []
+                await service.handle_message({"op": "gc", "max_bytes": 0}, sent.append)
+                assert sent[-1]["event"] == "error"
+                assert "no disk cache" in sent[-1]["error"]
+
+        run(scenario())
+
+    def test_submit_after_stop_fails_fast_instead_of_hanging(self):
+        # Regression: ServeService.submit ignored queue.stopping, restarted
+        # the pool, and the late ticket hung with no worker to fail it.
+        async def scenario():
+            service = ExperimentService(cache_dir=None, workers=1)
+            await service.start()
+            await service.stop()
+            ticket = await service.submit(ExperimentRequest("table3", preset="smoke"))
+            response = await asyncio.wait_for(service.wait(ticket), timeout=5)
+            assert response["event"] == "failed"
+            assert "rejected" in response["error"]
+            assert not service._started  # the pool was not restarted
 
         run(scenario())
 
