@@ -9,6 +9,7 @@ from repro.core.accelerator import (
 from repro.core.dispatcher import DispatchStep, Dispatcher
 from repro.core.oneffset_generator import NeuronLaneState, OneffsetGenerator
 from repro.core.pip import PragmaticInnerProductUnit, PragmaticTileFunctional
+from repro.core.progress import ProgressToken, SweepCancelled
 from repro.core.scheduling import (
     column_drain_cycles,
     column_sync_cycles,
@@ -47,6 +48,8 @@ __all__ = [
     "pallet_sync_cycles",
     "column_sync_cycles",
     "essential_terms",
+    "ProgressToken",
+    "SweepCancelled",
     "sweep_network",
     "cycles_from_drain",
     "pallet_variant",

@@ -1,0 +1,85 @@
+"""Cooperative cancellation and progress reporting for long simulations.
+
+A :class:`ProgressToken` is the handle the serving layer threads down through
+:mod:`repro.runtime` into :func:`repro.core.sweep.sweep_network`.  The sweep
+calls :meth:`ProgressToken.checkpoint` between layers and drain groups — the
+natural unit boundaries of the paper's cost model — and raises
+:class:`SweepCancelled` as soon as the token has been cancelled, so a worker
+executing an abandoned request frees up after at most one drain-group's worth
+of extra work instead of finishing the whole network.
+
+Checkpoints deliberately sit *between* cache writes, never inside them: a
+cancelled sweep simply never produced the results it was asked for, and
+everything it did complete before the cancellation is still valid (and, one
+level up, already cached).  Cancellation therefore cannot corrupt the result
+cache.
+
+The same token carries progress *out*: :meth:`ProgressToken.emit` forwards
+structured progress events (per-layer, per-network, per-experiment) to an
+observer callback.  Observers run on the simulating thread and must be cheap;
+an observer that raises is disarmed rather than allowed to abort the sweep.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+__all__ = ["ProgressToken", "SweepCancelled"]
+
+
+class SweepCancelled(RuntimeError):
+    """Raised at a cooperative checkpoint after the token was cancelled."""
+
+
+class ProgressToken:
+    """Cancel flag + progress sink shared between a controller and a sweep.
+
+    Thread-safe by construction: the controller (an event loop, a signal
+    handler, another thread) calls :meth:`cancel`; the simulating thread polls
+    via :meth:`checkpoint`.  ``on_progress`` may be (re)assigned at any time;
+    ``None`` disables event emission entirely.
+    """
+
+    def __init__(
+        self, on_progress: Callable[[dict], None] | None = None
+    ) -> None:
+        self._cancelled = threading.Event()
+        self.on_progress = on_progress
+
+    # ----------------------------------------------------------- cancellation
+    def cancel(self) -> None:
+        """Request cooperative cancellation (idempotent, thread-safe)."""
+        self._cancelled.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether cancellation has been requested."""
+        return self._cancelled.is_set()
+
+    def checkpoint(self) -> None:
+        """Raise :class:`SweepCancelled` if cancellation has been requested.
+
+        Call this only at points where abandoning the work is safe — between
+        layers, drain groups, networks or experiments; never between a
+        computation and the cache write that persists it.
+        """
+        if self._cancelled.is_set():
+            raise SweepCancelled("cancelled at a cooperative checkpoint")
+
+    # --------------------------------------------------------------- progress
+    def emit(self, event: dict) -> None:
+        """Deliver one progress event to the observer (if any).
+
+        Events are plain dicts with at least a ``"stage"`` key (``"layer"``,
+        ``"network"``, ``"statistics"``, ``"experiment"`` …).  A raising
+        observer is disarmed so simulation work is never lost to a broken
+        progress consumer.
+        """
+        observer = self.on_progress
+        if observer is None:
+            return
+        try:
+            observer(event)
+        except Exception:
+            self.on_progress = None

@@ -21,11 +21,18 @@ from repro.arch.memory import NeuronMemory
 from repro.arch.tiling import SamplingConfig, sample_pallet_values
 from repro.baselines.dadiannao import DaDianNaoModel
 from repro.core.accelerator import LayerResult, NetworkResult, PragmaticConfig
+from repro.core.progress import ProgressToken, SweepCancelled
 from repro.core.scheduling import essential_terms, step_drain_cycles
 from repro.core.software import SoftwareGuidance
 from repro.nn.traces import NetworkTrace
 
-__all__ = ["SweepStats", "sweep_network", "cycles_from_drain"]
+__all__ = [
+    "ProgressToken",
+    "SweepCancelled",
+    "SweepStats",
+    "sweep_network",
+    "cycles_from_drain",
+]
 
 
 @dataclass
@@ -97,6 +104,7 @@ def sweep_network(
     configs: dict[str, PragmaticConfig],
     sampling: SamplingConfig = SamplingConfig(),
     stats: SweepStats | None = None,
+    progress: ProgressToken | None = None,
 ) -> dict[str, NetworkResult]:
     """Simulate every configuration over one traced network.
 
@@ -112,6 +120,12 @@ def sweep_network(
     stats:
         Optional :class:`SweepStats` accumulating how much simulation work the
         sweep performed (used by :mod:`repro.runtime` run summaries).
+    progress:
+        Optional :class:`ProgressToken`.  The sweep checks it at cooperative
+        checkpoints — between layers and between drain groups, never inside a
+        unit of work — raising :class:`SweepCancelled` once cancellation has
+        been requested, and emits one ``"layer"`` progress event per completed
+        layer.
 
     Returns
     -------
@@ -122,6 +136,8 @@ def sweep_network(
     """
     if not configs:
         raise ValueError("configs must not be empty")
+    if progress is not None:
+        progress.checkpoint()
     chips = {config.chip for config in configs.values()}
     if len(chips) != 1:
         raise ValueError("all configurations in one sweep must share the same chip")
@@ -134,7 +150,10 @@ def sweep_network(
     if stats is not None:
         stats.configs_simulated += len(configs)
 
-    for layer_index in range(trace.network.num_layers):
+    num_layers = trace.network.num_layers
+    for layer_index in range(num_layers):
+        if progress is not None:
+            progress.checkpoint()
         layer = trace.layer(layer_index)
         values, total_pallets = sample_pallet_values(trace, layer_index, sampling)
         min_step = max(1, memory.pallet_fetch_cycles(layer))
@@ -146,6 +165,8 @@ def sweep_network(
         for label, config in configs.items():
             key = (config.first_stage_bits, config.software_trimming)
             if key not in groups:
+                if progress is not None:
+                    progress.checkpoint()
                 guidance = SoftwareGuidance.from_trace(trace, enabled=config.software_trimming)
                 trimmed = guidance.apply(values, layer_index)
                 drain = step_drain_cycles(trimmed, config.first_stage_bits, storage_bits)
@@ -166,6 +187,16 @@ def sweep_network(
                     terms=group.terms,
                     baseline_terms=baseline_terms,
                 )
+            )
+        if progress is not None:
+            progress.emit(
+                {
+                    "stage": "layer",
+                    "network": trace.network.name,
+                    "layer": layer.name,
+                    "index": layer_index,
+                    "layers": num_layers,
+                }
             )
 
     return {

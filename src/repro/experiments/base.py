@@ -9,6 +9,7 @@ full reproduction runs.
 
 from __future__ import annotations
 
+import argparse
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -16,7 +17,65 @@ from pathlib import Path
 from repro.arch.tiling import SamplingConfig
 from repro.nn.networks import NETWORK_NAMES
 
-__all__ = ["Preset", "PRESETS", "get_preset", "ExperimentResult", "export_results"]
+__all__ = [
+    "Preset",
+    "PRESETS",
+    "get_preset",
+    "ExperimentResult",
+    "export_results",
+    "parse_size",
+    "parse_age",
+]
+
+#: Multipliers of byte-size suffixes (binary, case-insensitive).
+_SIZE_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3}
+
+#: Multipliers of duration suffixes.
+_AGE_SUFFIXES = {"s": 1, "m": 60, "h": 3600, "d": 86400}
+
+
+def parse_size(value: str) -> int:
+    """``"500M"`` → bytes (plain integers and K/M/G suffixes).
+
+    Shared argparse ``type=`` of every size-taking CLI flag (the batch CLI's
+    ``--max-bytes``, the serve CLI's ``--gc-max-bytes``).
+    """
+    text = value.strip().lower()
+    factor = 1
+    if text and text[-1] in _SIZE_SUFFIXES:
+        factor = _SIZE_SUFFIXES[text[-1]]
+        text = text[:-1]
+    try:
+        number = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a byte size like 1048576 or 500M, got {value!r}"
+        ) from None
+    if number < 0:
+        raise argparse.ArgumentTypeError("byte size must be non-negative")
+    return number * factor
+
+
+def parse_age(value: str) -> float:
+    """``"30d"`` → seconds (plain numbers and s/m/h/d suffixes).
+
+    Shared argparse ``type=`` of every duration-taking CLI flag (the batch
+    CLI's ``--max-age``, the serve CLI's ``--gc-interval``/``--gc-max-age``).
+    """
+    text = value.strip().lower()
+    factor = 1
+    if text and text[-1] in _AGE_SUFFIXES:
+        factor = _AGE_SUFFIXES[text[-1]]
+        text = text[:-1]
+    try:
+        number = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an age like 3600, 90m or 30d, got {value!r}"
+        ) from None
+    if number < 0:
+        raise argparse.ArgumentTypeError("age must be non-negative")
+    return number * factor
 
 #: Version of the exported-artifact JSON schema.
 RESULT_SCHEMA = 1

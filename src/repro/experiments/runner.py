@@ -49,7 +49,14 @@ from repro.experiments import (
     table4,
     table5,
 )
-from repro.experiments.base import ExperimentResult, PRESETS, Preset, export_results
+from repro.experiments.base import (
+    ExperimentResult,
+    PRESETS,
+    Preset,
+    export_results,
+    parse_age,
+    parse_size,
+)
 
 __all__ = [
     "EXPERIMENTS",
@@ -58,48 +65,6 @@ __all__ = [
     "run_all",
     "main",
 ]
-
-#: Multipliers of the ``--max-bytes`` size suffixes (binary, case-insensitive).
-_SIZE_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3}
-
-#: Multipliers of the ``--max-age`` duration suffixes.
-_AGE_SUFFIXES = {"s": 1, "m": 60, "h": 3600, "d": 86400}
-
-
-def _parse_size(value: str) -> int:
-    """``"500M"`` → bytes (plain integers and K/M/G suffixes)."""
-    text = value.strip().lower()
-    factor = 1
-    if text and text[-1] in _SIZE_SUFFIXES:
-        factor = _SIZE_SUFFIXES[text[-1]]
-        text = text[:-1]
-    try:
-        number = int(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"expected a byte size like 1048576 or 500M, got {value!r}"
-        ) from None
-    if number < 0:
-        raise argparse.ArgumentTypeError("byte size must be non-negative")
-    return number * factor
-
-
-def _parse_age(value: str) -> float:
-    """``"30d"`` → seconds (plain numbers and s/m/h/d suffixes)."""
-    text = value.strip().lower()
-    factor = 1
-    if text and text[-1] in _AGE_SUFFIXES:
-        factor = _AGE_SUFFIXES[text[-1]]
-        text = text[:-1]
-    try:
-        number = float(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"expected an age like 3600, 90m or 30d, got {value!r}"
-        ) from None
-    if number < 0:
-        raise argparse.ArgumentTypeError("age must be non-negative")
-    return number * factor
 
 
 def _format_bytes(count: int) -> str:
@@ -171,9 +136,21 @@ def experiment_description(name: str) -> str:
 def run_experiment(
     name: str, preset: str | Preset = "fast", seed: int = 0
 ) -> ExperimentResult:
-    """Run one experiment by id (within the caller's runtime session)."""
+    """Run one experiment by id (within the caller's runtime session).
+
+    If the active session carries a :class:`~repro.core.progress.ProgressToken`
+    the run checks it before starting (so cancelling a multi-experiment job
+    also stops between experiments, even when every sweep is a warm cache hit)
+    and announces the experiment through it.
+    """
     if name not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}")
+    from repro.runtime.session import current_session
+
+    progress = getattr(current_session(), "progress", None)
+    if progress is not None:
+        progress.checkpoint()
+        progress.emit({"stage": "experiment", "experiment": name})
     return EXPERIMENTS[name](preset=preset, seed=seed)
 
 
@@ -237,14 +214,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     maintenance.add_argument(
         "--max-bytes",
-        type=_parse_size,
+        type=parse_size,
         default=None,
         metavar="SIZE",
         help="gc byte cap (plain bytes or K/M/G suffix, e.g. 500M)",
     )
     maintenance.add_argument(
         "--max-age",
-        type=_parse_age,
+        type=parse_age,
         default=None,
         metavar="AGE",
         help="gc age cap on last use (seconds or s/m/h/d suffix, e.g. 30d)",

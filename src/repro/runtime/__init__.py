@@ -25,6 +25,7 @@ The job model, cache-key scheme and session semantics are documented in
 top of this package.
 """
 
+from repro.core.progress import ProgressToken, SweepCancelled
 from repro.runtime.cache import CacheStats, ResultCache
 from repro.runtime.engine import SimulationRequest, StatisticsRequest, analyze, simulate
 from repro.runtime.fingerprint import (
@@ -57,6 +58,8 @@ from repro.runtime.trace_store import TraceSpec, TraceStore
 __all__ = [
     "CacheManifest",
     "CacheStats",
+    "ProgressToken",
+    "SweepCancelled",
     "DEFAULT_CACHE_DIR",
     "GCResult",
     "ResultCache",

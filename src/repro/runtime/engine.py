@@ -67,6 +67,9 @@ def simulate(
     identical whether each result came from the cache or a fresh sweep.
     """
     session = session if session is not None else current_session()
+    progress = getattr(session, "progress", None)
+    if progress is not None:
+        progress.checkpoint()
     labels = [label for label, _ in request.configs]
     if len(set(labels)) != len(labels):
         raise ValueError(f"duplicate labels in simulation request: {labels}")
@@ -82,11 +85,28 @@ def simulate(
     if missing:
         trace = session.traces.get(request.trace)
         computed = sweep_network(
-            trace, missing, sampling=request.sampling, stats=session.sweep_stats
+            trace,
+            missing,
+            sampling=request.sampling,
+            stats=session.sweep_stats,
+            progress=progress,
         )
+        # The cooperative checkpoints all sit *before* this point: once the
+        # sweep has returned, every result is stored unconditionally, so a
+        # cancellation can abandon a network but never truncate cache writes.
         for label, result in computed.items():
             session.cache.put(keys[label], network_result_to_dict(result))
             results[label] = result
+    if progress is not None:
+        progress.emit(
+            {
+                "stage": "network",
+                "network": request.trace.network,
+                "configs": len(labels),
+                "simulated": len(missing),
+                "cached": len(labels) - len(missing),
+            }
+        )
     return {label: results[label] for label, _ in request.configs}
 
 
@@ -152,14 +172,27 @@ def analyze(request: StatisticsRequest, session: RuntimeSession | None = None) -
     cache or a fresh measurement.
     """
     session = session if session is not None else current_session()
+    progress = getattr(session, "progress", None)
+    if progress is not None:
+        progress.checkpoint()
     if request.statistic not in STATISTICS:
         raise KeyError(
             f"unknown statistic {request.statistic!r}; available: {', '.join(STATISTICS)}"
         )
     key = request.key()
     payload = session.cache.get(key, kind="statistics")
-    if payload is None:
+    computed = payload is None
+    if computed:
         trace = session.traces.get(request.trace)
         payload = STATISTICS[request.statistic](trace, request.samples_per_layer)
         session.cache.put(key, payload, kind="statistics")
+    if progress is not None:
+        progress.emit(
+            {
+                "stage": "statistics",
+                "statistic": request.statistic,
+                "network": request.trace.network,
+                "cached": not computed,
+            }
+        )
     return payload

@@ -175,7 +175,7 @@ def _run_parallel(
         raise concurrent.futures.BrokenExecutor(
             f"could not create process pool: {error}"
         ) from error
-    with pool:
+    try:
         running: dict[concurrent.futures.Future, str] = {}
         while waiting or running:
             ready = [job for job in waiting if all(dep in done_ids for dep in job.deps)]
@@ -197,6 +197,13 @@ def _run_parallel(
                 stats.merge(job_stats)
                 if result is not None:
                     results[job_id.removeprefix("exp:")] = result
+    except BaseException:
+        # A failing job must fail the run *now*: drop everything still queued
+        # and don't wait for sibling futures already executing — they write
+        # only to the shared cache, which tolerates abandoned writers.
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown(wait=True)
     return results
 
 

@@ -23,6 +23,7 @@ import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.core.progress import ProgressToken
 from repro.core.sweep import SweepStats
 from repro.runtime.cache import CacheStats, ResultCache
 from repro.runtime.trace_store import TraceStore
@@ -87,12 +88,28 @@ class RunStats:
 
 
 class RuntimeSession:
-    """Shared state of one experiment-execution session."""
+    """Shared state of one experiment-execution session.
 
-    def __init__(self, cache: ResultCache | None = None, traces: TraceStore | None = None) -> None:
+    ``progress`` optionally carries a :class:`~repro.core.progress.ProgressToken`
+    through the session: the execution funnels (:func:`repro.runtime.engine.simulate`
+    / :func:`~repro.runtime.engine.analyze`) and the experiment runner read it
+    from the *active* session, check it at cooperative checkpoints (raising
+    :class:`~repro.core.progress.SweepCancelled` once cancelled) and emit
+    per-layer/per-network progress events through it.  Attach tokens to
+    short-lived per-request sessions (the serve layer's stats views), never to
+    a session shared by concurrent jobs.
+    """
+
+    def __init__(
+        self,
+        cache: ResultCache | None = None,
+        traces: TraceStore | None = None,
+        progress: "ProgressToken | None" = None,
+    ) -> None:
         self.cache = cache if cache is not None else ResultCache()
         self.traces = traces if traces is not None else TraceStore()
         self.sweep_stats = SweepStats()
+        self.progress = progress
 
     def trace(self, spec) -> object:
         """The calibrated trace for ``spec``, via the shared store."""

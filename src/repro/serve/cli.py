@@ -6,13 +6,20 @@ Modes:
   stdin/stdout until EOF or a ``shutdown`` op.
 * ``--tcp HOST:PORT`` — listen for concurrent protocol connections
   (``PORT 0`` picks an ephemeral port, printed on startup).
-* ``--selftest`` — start an in-process TCP server, run one full request
-  round-trip through a real client connection, print the outcome and exit
-  non-zero on any failure.  CI runs this on every tier-1 platform.
+* ``--selftest`` — start an in-process TCP server and exercise the protocol
+  end to end through a real client connection: one full request round-trip,
+  one ``stream: true`` request (asserting incremental ``progress`` events
+  arrive before the terminal ``done``), and one mid-run cancellation
+  (asserting the cooperative checkpoint frees the worker with a terminal
+  ``cancelled``).  Exits non-zero on any failure; CI runs this on every
+  tier-1 platform.
 
 ``--workers`` bounds concurrent job execution; ``--cache-dir``/``--no-cache``
-select the shared result cache exactly like the batch CLI.  See
-``docs/serving.md`` for the protocol and examples.
+select the shared result cache exactly like the batch CLI.  Long-lived
+servers can enable automatic background cache GC with ``--gc-interval`` plus
+``--gc-max-bytes`` and/or ``--gc-max-age`` (same size/age spellings as the
+batch CLI's ``--cache-gc``).  See ``docs/serving.md`` for the protocol and
+examples.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ import argparse
 import asyncio
 import sys
 
+from repro.experiments.base import parse_age, parse_size
 from repro.runtime.session import default_cache_dir
 
 __all__ = ["main"]
@@ -33,8 +41,76 @@ def _parse_endpoint(value: str) -> tuple[str, int]:
     return host, int(port)
 
 
+def _parse_interval(value: str) -> float:
+    seconds = parse_age(value)
+    if seconds <= 0:
+        raise argparse.ArgumentTypeError("--gc-interval must be positive")
+    return seconds
+
+
+#: Small workload for the selftest's streamed/cancelled requests.
+_SELFTEST_OVERRIDES = {"networks": ["alexnet"], "max_pallets": 2, "samples_per_layer": 1500}
+
+
+async def _selftest_stream(client) -> int:
+    """A ``stream: true`` request must emit progress before its terminal done."""
+    events = []
+    async for event in client.stream_experiment("fig9", overrides=_SELFTEST_OVERRIDES):
+        events.append(event)
+    names = [event.get("event") for event in events]
+    if names[-1] != "done":
+        print(f"selftest: streamed request ended with {names[-1]!r}", file=sys.stderr)
+        return 1
+    progress = [event for event in events if event.get("event") == "progress"]
+    if not progress:
+        print("selftest: streamed request produced no progress events", file=sys.stderr)
+        return 1
+    networks = {
+        event["progress"].get("network")
+        for event in progress
+        if event["progress"].get("stage") == "network"
+    }
+    if "alexnet" not in networks:
+        print("selftest: no per-network progress event observed", file=sys.stderr)
+        return 1
+    print(
+        f"selftest ok: streamed fig9 emitted {len(progress)} progress event(s) "
+        f"across networks {sorted(networks)} before done"
+    )
+    return 0
+
+
+async def _selftest_cancel(client) -> int:
+    """Cancelling mid-run must interrupt the sweep at a checkpoint."""
+    cancelled = False
+    terminal = None
+    async for event in client.stream_run_all(preset="fast", overrides=_SELFTEST_OVERRIDES):
+        name = event.get("event")
+        if name == "progress" and not cancelled:
+            cancelled = True
+            await client.cancel(event["ticket"])
+        if name in ("done", "failed", "cancelled", "error"):
+            terminal = name
+    if not cancelled:
+        print("selftest: run_all produced no progress to cancel on", file=sys.stderr)
+        return 1
+    if terminal != "cancelled":
+        print(f"selftest: expected terminal cancelled, got {terminal!r}", file=sys.stderr)
+        return 1
+    # The cooperative cancellation must actually free the worker: a follow-up
+    # request on the same (single-worker-capable) server completes promptly.
+    follow_up = await asyncio.wait_for(
+        client.run_experiment("table3", preset="smoke"), timeout=60
+    )
+    if not follow_up.ok:
+        print(f"selftest: post-cancel request failed: {follow_up.error}", file=sys.stderr)
+        return 1
+    print("selftest ok: mid-run cancellation freed the worker (terminal cancelled)")
+    return 0
+
+
 async def _selftest(workers: int) -> int:
-    """One request round-trip through a real TCP connection."""
+    """Protocol round-trip + streamed request + mid-run cancellation."""
     from repro.serve.client import ServeClient
     from repro.serve.service import ExperimentService
 
@@ -65,7 +141,10 @@ async def _selftest(workers: int) -> int:
                     f"({len(rows)} rows, {completed} job(s) completed, "
                     f"stats: {response.stats.summary()})"
                 )
-                return 0
+                status = await _selftest_stream(client)
+                if status:
+                    return status
+                return await _selftest_cancel(client)
             finally:
                 await client.close()
 
@@ -90,7 +169,7 @@ def main(argv: list[str] | None = None) -> int:
     mode.add_argument(
         "--selftest",
         action="store_true",
-        help="run one in-process request round-trip and exit",
+        help="run round-trip, streamed and mid-run-cancellation checks and exit",
     )
     parser.add_argument(
         "--workers",
@@ -109,9 +188,36 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-cache", action="store_true", help="disable the result cache entirely"
     )
+    gc = parser.add_argument_group("background cache GC")
+    gc.add_argument(
+        "--gc-interval",
+        type=_parse_interval,
+        default=None,
+        metavar="AGE",
+        help="collect the disk cache every AGE (e.g. 900 or 15m); requires "
+        "--gc-max-bytes and/or --gc-max-age",
+    )
+    gc.add_argument(
+        "--gc-max-bytes",
+        type=parse_size,
+        default=None,
+        metavar="SIZE",
+        help="byte cap enforced by each background GC pass (e.g. 500M)",
+    )
+    gc.add_argument(
+        "--gc-max-age",
+        type=parse_age,
+        default=None,
+        metavar="AGE",
+        help="evict entries unused for AGE on each background GC pass (e.g. 30d)",
+    )
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error("--workers must be at least 1")
+    if args.gc_interval is not None and args.gc_max_bytes is None and args.gc_max_age is None:
+        parser.error("--gc-interval needs --gc-max-bytes and/or --gc-max-age")
+    if args.gc_interval is not None and args.no_cache:
+        parser.error("background GC requires a disk cache (drop --no-cache)")
 
     if args.selftest:
         return asyncio.run(_selftest(args.workers))
@@ -120,7 +226,12 @@ def main(argv: list[str] | None = None) -> int:
 
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
     service = ExperimentService(
-        cache_dir=cache_dir, no_cache=args.no_cache, workers=args.workers
+        cache_dir=cache_dir,
+        no_cache=args.no_cache,
+        workers=args.workers,
+        gc_interval=args.gc_interval,
+        gc_max_bytes=args.gc_max_bytes,
+        gc_max_age=args.gc_max_age,
     )
 
     async def run_tcp(host: str, port: int) -> None:

@@ -6,8 +6,11 @@ reader task routes incoming event lines by that id, and the awaiting
 coroutine collects lifecycle events until the terminal one arrives.  The
 terminal event is returned as a :class:`ServeResponse` whose ``stats`` is a
 real :class:`~repro.runtime.session.RunStats` (rebuilt from the wire dict via
-``RunStats.merge``), so callers can assert cache/sweep counters directly —
-see ``examples/serve_client.py`` and ``docs/serving.md``.
+``RunStats.merge``), so callers can assert cache/sweep counters directly.
+:meth:`ServeClient.stream` (and the ``stream_experiment``/``stream_run_all``
+helpers) instead expose a job as an async iterator of events, including the
+incremental ``progress`` reports of a ``stream: true`` request — see
+``examples/serve_client.py`` and ``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -89,44 +92,89 @@ class ServeClient:
             for route in self._routes.values():
                 route.put_nowait({"event": "failed", "error": "connection closed"})
 
-    async def _send(self, message: dict) -> asyncio.Queue:
+    async def _send(self, message: dict) -> tuple[str, asyncio.Queue]:
         client_id = f"c{next(self._counter)}"
         route: asyncio.Queue[dict] = asyncio.Queue()
         self._routes[client_id] = route
         self._writer.write(encode({"id": client_id, **message}))
         await self._writer.drain()
-        return route
+        return client_id, route
 
     async def _roundtrip(self, message: dict) -> dict:
         """Send a control op and return its single response."""
-        route = await self._send(message)
+        client_id, route = await self._send(message)
         payload = await route.get()
-        self._routes.pop(str(payload.get("id", "")), None)
+        self._routes.pop(client_id, None)
         return payload
 
     async def _job(self, message: dict, on_event=None) -> ServeResponse:
         """Send a job op and await its terminal event."""
-        route = await self._send(message)
+        client_id, route = await self._send(message)
         events: list[str] = []
-        while True:
-            payload = await route.get()
-            event = payload.get("event", "")
-            events.append(event)
-            if on_event is not None:
-                on_event(payload)
-            if event in ("done", "failed", "cancelled", "error"):
-                self._routes.pop(str(payload.get("id", "")), None)
-                if event == "error":
-                    return ServeResponse(
-                        state="failed",
-                        ticket=None,
-                        coalesced=False,
-                        result=None,
-                        stats=RunStats(),
-                        error=payload.get("error"),
-                        events=events,
-                    )
-                return _response_from(payload, events)
+        try:
+            while True:
+                payload = await route.get()
+                event = payload.get("event", "")
+                events.append(event)
+                if on_event is not None:
+                    on_event(payload)
+                if event in ("done", "failed", "cancelled", "error"):
+                    if event == "error":
+                        return ServeResponse(
+                            state="failed",
+                            ticket=None,
+                            coalesced=False,
+                            result=None,
+                            stats=RunStats(),
+                            error=payload.get("error"),
+                            events=events,
+                        )
+                    return _response_from(payload, events)
+        finally:
+            self._routes.pop(client_id, None)
+
+    # ---------------------------------------------------------------- streaming
+    async def stream(self, message: dict):
+        """Submit a job op with ``stream: true``; async-iterate its events.
+
+        Yields every event payload for the request in order — ``queued``,
+        ``running``, any number of ``progress`` events (each carrying the
+        structured report under ``"progress"`` and the ticket id under
+        ``"ticket"``), then exactly one terminal ``done``/``failed``/
+        ``cancelled``/``error`` — and stops after the terminal event.  Pass
+        the ticket id of an event to :meth:`cancel` to cancel mid-stream::
+
+            async for event in client.stream({"op": "run_all", "preset": "fast"}):
+                if event["event"] == "progress":
+                    print(event["progress"])
+        """
+        client_id, route = await self._send({**message, "stream": True})
+        try:
+            while True:
+                payload = await route.get()
+                yield payload
+                if payload.get("event") in ("done", "failed", "cancelled", "error"):
+                    return
+        finally:
+            self._routes.pop(client_id, None)
+
+    def stream_experiment(
+        self, experiment: str, preset: str = "fast", seed: int = 0, overrides: dict | None = None
+    ):
+        """Async iterator over one ``run_experiment`` job's event stream."""
+        message = {"op": "run_experiment", "experiment": experiment, "preset": preset, "seed": seed}
+        if overrides:
+            message["overrides"] = overrides
+        return self.stream(message)
+
+    def stream_run_all(
+        self, preset: str = "fast", seed: int = 0, overrides: dict | None = None
+    ):
+        """Async iterator over one ``run_all`` job's event stream."""
+        message = {"op": "run_all", "preset": preset, "seed": seed}
+        if overrides:
+            message["overrides"] = overrides
+        return self.stream(message)
 
     # ------------------------------------------------------------------ job ops
     async def run_experiment(

@@ -5,7 +5,11 @@ Client → server messages carry an ``op`` plus op-specific fields and an
 optional correlation ``id`` the server echoes back on every event for that
 request.  Server → client messages carry an ``event`` (``queued``,
 ``running``, ``done``, ``failed``, ``cancelled`` for job lifecycles; single
-shot events for control ops).
+shot events for control ops).  A job op may set ``"stream": true`` to
+additionally receive incremental ``progress`` events (per-layer/per-network/
+per-experiment reports under a ``"progress"`` key) while the job runs; the
+flag affects delivery only and never enters a request's deduplication key,
+so streamed and unstreamed twins still coalesce.
 
 The job-submitting ops parse into frozen dataclasses — the *typed* form the
 queue, the workers and the in-process API all share — and each request type

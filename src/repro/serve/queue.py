@@ -8,9 +8,15 @@ layer promises: N concurrent identical requests cost one simulation pass, and
 every ticket receives the same result and stats.
 
 Lifecycle: ``queued → running → done | failed``, with ``cancelled`` reachable
-from ``queued`` (a running simulation cannot be interrupted; cancelling a
-ticket on a running job just detaches that ticket).  All state lives on the
-event loop — only the execution itself leaves it (see
+from ``queued`` *and* from ``running``: every job carries a
+:class:`~repro.core.progress.ProgressToken`, and cancelling the last live
+ticket of a running job cancels the token — the sweep observes it at its next
+cooperative checkpoint, raises ``SweepCancelled`` and frees the worker
+(cancelling a ticket that shares its job with other live tickets still just
+detaches that ticket).  The same token carries per-layer/per-network progress
+events back up; tickets that registered an ``on_progress`` callback (the
+protocol's ``stream`` flag) receive them as they happen.  All state lives on
+the event loop — only the execution itself leaves it (see
 :mod:`repro.serve.workers`).  ``docs/serving.md`` walks through the model.
 """
 
@@ -22,6 +28,7 @@ import itertools
 import time
 from typing import Callable
 
+from repro.core.progress import ProgressToken
 from repro.serve.protocol import ServeRequest
 
 __all__ = ["Ticket", "Job", "RequestQueue"]
@@ -37,7 +44,12 @@ FINISHED_TICKET_HISTORY = 1024
 
 
 class Job:
-    """One coalesced unit of execution (1..N tickets share it)."""
+    """One coalesced unit of execution (1..N tickets share it).
+
+    ``token`` is the job's cooperative cancellation/progress handle: the
+    worker hands it to the execution (where the sweep checkpoints it) and
+    wires its progress callback back to the queue's live tickets.
+    """
 
     def __init__(self, key: str, request: ServeRequest) -> None:
         self.key = key
@@ -50,6 +62,7 @@ class Job:
         self.done = asyncio.Event()
         self.started: float | None = None
         self.elapsed: float | None = None
+        self.token = ProgressToken()
 
     @property
     def live_tickets(self) -> list["Ticket"]:
@@ -57,7 +70,13 @@ class Job:
 
 
 class Ticket:
-    """One client request, attached to (possibly sharing) a job."""
+    """One client request, attached to (possibly sharing) a job.
+
+    ``on_event`` receives lifecycle transitions (``queued``, ``running``,
+    ``done``, ``failed``, ``cancelled``); ``on_progress`` — when registered —
+    additionally receives every structured progress event the job's execution
+    emits (the ``stream: true`` protocol flag).
+    """
 
     def __init__(
         self,
@@ -65,6 +84,7 @@ class Ticket:
         job: Job,
         coalesced: bool,
         on_event: Callable[["Ticket", str], None] | None = None,
+        on_progress: Callable[["Ticket", dict], None] | None = None,
     ) -> None:
         self.ticket_id = ticket_id
         self.job = job
@@ -72,6 +92,7 @@ class Ticket:
         self.cancelled = False
         self.retired = False
         self.on_event = on_event
+        self.on_progress = on_progress
 
     @property
     def state(self) -> str:
@@ -81,6 +102,10 @@ class Ticket:
         if self.on_event is not None and not self.cancelled:
             self.on_event(self, event)
 
+    def notify_progress(self, payload: dict) -> None:
+        if self.on_progress is not None and not self.cancelled:
+            self.on_progress(self, payload)
+
 
 class RequestQueue:
     """FIFO of jobs with content-hash deduplication of in-flight requests."""
@@ -88,6 +113,11 @@ class RequestQueue:
     def __init__(self) -> None:
         self._pending: asyncio.Queue[Job | None] = asyncio.Queue()
         self._inflight: dict[str, Job] = {}
+        #: Cancelled-while-running jobs still occupying a worker until their
+        #: next cooperative checkpoint (detached from ``_inflight`` so fresh
+        #: identical requests don't coalesce onto them, but still *running*
+        #: as far as capacity accounting goes).
+        self._unwinding: set[Job] = set()
         self._tickets: dict[str, Ticket] = {}
         self._finished: collections.deque[str] = collections.deque()
         self._counter = itertools.count(1)
@@ -101,12 +131,15 @@ class RequestQueue:
         self.completed = 0
         self.failed = 0
         self.cancelled = 0
+        #: Jobs interrupted *while running* via their cooperative token.
+        self.interrupted = 0
 
     # ------------------------------------------------------------------ submit
     def submit(
         self,
         request: ServeRequest,
         on_event: Callable[[Ticket, str], None] | None = None,
+        on_progress: Callable[[Ticket, dict], None] | None = None,
     ) -> Ticket:
         """Enqueue ``request`` (or coalesce it onto an identical in-flight job).
 
@@ -118,7 +151,7 @@ class RequestQueue:
         key = request.key()
         if self.stopping:
             job = Job(key, request)
-            ticket = Ticket(f"t{next(self._counter)}", job, False, on_event)
+            ticket = Ticket(f"t{next(self._counter)}", job, False, on_event, on_progress)
             job.tickets.append(ticket)
             self._tickets[ticket.ticket_id] = ticket
             self.submitted += 1
@@ -130,7 +163,7 @@ class RequestQueue:
             job = Job(key, request)
             self._inflight[key] = job
             self._pending.put_nowait(job)
-        ticket = Ticket(f"t{next(self._counter)}", job, coalesced, on_event)
+        ticket = Ticket(f"t{next(self._counter)}", job, coalesced, on_event, on_progress)
         job.tickets.append(ticket)
         self._tickets[ticket.ticket_id] = ticket
         self.submitted += 1
@@ -168,22 +201,52 @@ class RequestQueue:
         for ticket in job.live_tickets:
             ticket.notify("running")
 
+    def deliver_progress(self, job: Job, payload: dict) -> None:
+        """Fan one progress event out to the job's streaming tickets.
+
+        Invoked on the event loop (the worker marshals events off the
+        simulating thread with ``call_soon_threadsafe``); events arriving
+        after the job reached a terminal state are dropped.
+        """
+        if job.state != "running":
+            return
+        for ticket in job.live_tickets:
+            ticket.notify_progress(payload)
+
     def finish(
-        self, job: Job, result: dict | None = None, error: str | None = None, stats: dict | None = None
+        self,
+        job: Job,
+        result: dict | None = None,
+        error: str | None = None,
+        stats: dict | None = None,
+        cancelled: bool = False,
     ) -> None:
-        """Complete a job and fan its outcome out to every live ticket."""
+        """Complete a job and fan its outcome out to every live ticket.
+
+        ``cancelled=True`` marks a job whose *running* execution was
+        interrupted at a cooperative checkpoint: it terminates in state
+        ``cancelled`` instead of ``failed``/``done``.
+        """
         job.result = result
         job.error = error
         job.stats = stats or {}
         job.elapsed = (
             time.perf_counter() - job.started if job.started is not None else None
         )
-        job.state = "failed" if error is not None else "done"
-        if error is not None:
+        if cancelled:
+            job.state = "cancelled"
+            self.interrupted += 1
+        elif error is not None:
+            job.state = "failed"
             self.failed += 1
         else:
+            job.state = "done"
             self.completed += 1
-        self._inflight.pop(job.key, None)
+        # Identity-guarded: a cancelled-while-running job was already detached
+        # from the in-flight index, and a fresh job may have taken its key.
+        if self._inflight.get(job.key) is job:
+            del self._inflight[job.key]
+        self._unwinding.discard(job)
         if self.on_finish is not None:
             self.on_finish(job)
         job.done.set()
@@ -230,22 +293,36 @@ class RequestQueue:
         """Cancel a ticket; returns ``(changed, resulting state)``.
 
         A queued job whose tickets are all cancelled is dropped before it
-        runs; a running job cannot be interrupted (its result still lands in
-        the shared cache), but the cancelled ticket stops receiving events.
+        runs.  Cancelling the *last* live ticket of a running job cancels the
+        job's cooperative token: the execution raises ``SweepCancelled`` at
+        its next checkpoint and the worker is freed (results the sweep
+        completed before the checkpoint are already in the shared cache).
+        While other live tickets share the job it keeps running and only this
+        ticket detaches.
         """
         ticket = self._tickets.get(ticket_id)
         if ticket is None:
             raise KeyError(f"unknown ticket {ticket_id!r}")
-        if ticket.cancelled or ticket.job.state in ("done", "failed"):
+        if ticket.cancelled or ticket.job.state in ("done", "failed", "cancelled"):
             return False, ticket.state
         ticket.cancelled = True
         self.cancelled += 1
         self._retire(ticket)
         job = ticket.job
-        if job.state == "queued" and not job.live_tickets:
-            job.state = "cancelled"
-            self._inflight.pop(job.key, None)
-            job.done.set()
+        if not job.live_tickets:
+            if job.state == "queued":
+                job.state = "cancelled"
+                self._inflight.pop(job.key, None)
+                job.done.set()
+            elif job.state == "running":
+                # Interrupt the execution cooperatively and detach the doomed
+                # job from the in-flight index immediately, so an identical
+                # request submitted from here on starts fresh instead of
+                # coalescing onto a job that will never produce a result.
+                job.token.cancel()
+                if self._inflight.get(job.key) is job:
+                    del self._inflight[job.key]
+                self._unwinding.add(job)
         # Deliver the terminal event directly: notify() suppresses cancelled
         # tickets, but the waiter behind this one must still be unblocked.
         if ticket.on_event is not None:
@@ -253,13 +330,19 @@ class RequestQueue:
         return True, ticket.state
 
     def depth(self) -> dict[str, int]:
-        """Queue-level counters for the ``stats`` op."""
+        """Queue-level counters for the ``stats`` op.
+
+        ``running`` includes cancelled jobs still unwinding toward their next
+        checkpoint: they occupy real worker capacity until they finish.
+        """
         return {
             "queued": sum(1 for job in self._inflight.values() if job.state == "queued"),
-            "running": sum(1 for job in self._inflight.values() if job.state == "running"),
+            "running": sum(1 for job in self._inflight.values() if job.state == "running")
+            + len(self._unwinding),
             "submitted": self.submitted,
             "coalesced": self.coalesced,
             "completed": self.completed,
             "failed": self.failed,
             "cancelled": self.cancelled,
+            "interrupted": self.interrupted,
         }

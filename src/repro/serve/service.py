@@ -13,9 +13,11 @@ ways, all speaking the same typed requests:
 * **stdio** — :meth:`ExperimentService.run_stdio`, the same protocol over
   stdin/stdout for single-operator and subprocess use.
 
-The request lifecycle (``queued → running → done/failed``, coalescing,
-cancellation) is documented in ``docs/serving.md``; the architecture map in
-``docs/architecture.md`` places this layer at the top of the stack.
+The request lifecycle (``queued → running → done/failed/cancelled``,
+coalescing, cooperative cancellation of running jobs, ``stream`` progress
+events, background cache GC) is documented in ``docs/serving.md``; the
+architecture map in ``docs/architecture.md`` places this layer at the top of
+the stack.
 """
 
 from __future__ import annotations
@@ -40,6 +42,10 @@ from repro.serve.workers import WorkerPool
 
 __all__ = ["ExperimentService"]
 
+#: Upper bound on flushing a closing connection's outbox (seconds).  A peer
+#: that disconnected or stopped reading cannot hold the close path hostage.
+CLOSE_DRAIN_TIMEOUT = 5.0
+
 
 class ExperimentService:
     """Async front-end serving experiment/simulation requests.
@@ -55,6 +61,14 @@ class ExperimentService:
         Bound on concurrently executing jobs.
     session:
         Pre-built session to serve from (overrides ``cache_dir``/``no_cache``).
+    gc_interval:
+        Period, in seconds, of the automatic background garbage collection of
+        the shared disk cache.  ``None`` (default) disables the task; when
+        set, at least one of ``gc_max_bytes``/``gc_max_age`` is required.
+        The task only runs against a persistent cache.
+    gc_max_bytes / gc_max_age:
+        Bounds enforced by each background GC pass (LRU-first), exactly like
+        the ``gc`` wire op and the ``--cache-gc`` CLI verb.
     """
 
     def __init__(
@@ -63,6 +77,9 @@ class ExperimentService:
         no_cache: bool = False,
         workers: int = 2,
         session: RuntimeSession | None = None,
+        gc_interval: float | None = None,
+        gc_max_bytes: int | None = None,
+        gc_max_age: float | None = None,
     ) -> None:
         if session is None:
             if no_cache:
@@ -76,6 +93,17 @@ class ExperimentService:
         self.totals = RunStats()
         self._started = False
         self._shutdown = asyncio.Event()
+        # Background GC of the shared disk cache (long-lived servers).
+        if gc_interval is not None and gc_interval <= 0:
+            raise ValueError("gc_interval must be positive")
+        if gc_interval is not None and gc_max_bytes is None and gc_max_age is None:
+            raise ValueError("background GC needs gc_max_bytes and/or gc_max_age")
+        self.gc_interval = gc_interval
+        self.gc_max_bytes = gc_max_bytes
+        self.gc_max_age = gc_max_age
+        self.gc_runs = 0
+        self.gc_removed_entries = 0
+        self._gc_task: asyncio.Task | None = None
 
     def _on_job_finish(self, job) -> None:
         """Fold one finished job's per-request counters into service totals."""
@@ -84,16 +112,53 @@ class ExperimentService:
 
     # ----------------------------------------------------------------- lifecycle
     async def start(self) -> None:
-        """Start the worker pool (idempotent)."""
+        """Start the worker pool and the background GC task (idempotent)."""
         await self.pool.start()
         self._started = True
+        if (
+            self.gc_interval is not None
+            and self._gc_task is None
+            and getattr(self.session.cache, "persistent", False)
+            and hasattr(self.session.cache, "gc")
+        ):
+            self._gc_task = asyncio.create_task(
+                self._gc_loop(), name="repro-serve-gc"
+            )
 
     async def stop(self) -> None:
         """Stop the workers; queued jobs are abandoned."""
+        if self._gc_task is not None:
+            self._gc_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._gc_task
+            self._gc_task = None
         if self._started:
             await self.pool.stop()
             self._started = False
         self._shutdown.set()
+
+    async def _gc_loop(self) -> None:
+        """Periodically collect the shared disk cache (LRU-first, bounded).
+
+        GC does disk I/O, so each pass runs on a thread; a failing pass is
+        logged into the error counter of the next ``stats`` reply rather than
+        allowed to kill the loop.
+        """
+        while True:
+            await asyncio.sleep(self.gc_interval)
+            try:
+                result = await asyncio.to_thread(
+                    self.session.cache.gc,
+                    max_bytes=self.gc_max_bytes,
+                    max_age=self.gc_max_age,
+                )
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 - GC must never kill the server
+                self.totals.cache.errors += 1
+            else:
+                self.gc_runs += 1
+                self.gc_removed_entries += result.removed_entries
 
     async def __aenter__(self) -> "ExperimentService":
         await self.start()
@@ -111,8 +176,12 @@ class ExperimentService:
         await self._shutdown.wait()
 
     # ----------------------------------------------------------------- requests
-    async def submit(self, request: ServeRequest, on_event=None) -> Ticket:
+    async def submit(self, request: ServeRequest, on_event=None, on_progress=None) -> Ticket:
         """Enqueue a typed request; returns its ticket immediately.
+
+        ``on_progress(ticket, payload)`` — when given — receives every
+        structured progress event the job's execution emits (per-layer,
+        per-network, per-experiment), in order, before the terminal event.
 
         After :meth:`stop` the queue is stopping: the request is not enqueued
         (and the worker pool is *not* restarted) — the returned ticket fails
@@ -120,7 +189,7 @@ class ExperimentService:
         """
         if not self._started and not self.queue.stopping:
             await self.start()
-        return self.queue.submit(request, on_event=on_event)
+        return self.queue.submit(request, on_event=on_event, on_progress=on_progress)
 
     async def wait(self, ticket: Ticket) -> dict:
         """Wait for a ticket's job and return its terminal response payload."""
@@ -200,6 +269,17 @@ class ExperimentService:
             "cache": usage,
             "traces": len(self.session.traces),
             "workers": self.pool.workers,
+            "background_gc": (
+                None
+                if self.gc_interval is None
+                else {
+                    "interval_seconds": self.gc_interval,
+                    "max_bytes": self.gc_max_bytes,
+                    "max_age_seconds": self.gc_max_age,
+                    "runs": self.gc_runs,
+                    "removed_entries": self.gc_removed_entries,
+                }
+            ),
         }
 
     def collect_garbage(self, max_bytes: int | None = None, max_age: float | None = None) -> dict:
@@ -230,11 +310,15 @@ class ExperimentService:
         }
 
     # ----------------------------------------------------------------- protocol
-    async def handle_message(self, message: dict, send) -> bool:
+    async def handle_message(self, message: dict, send, tickets: list | None = None) -> bool:
         """Dispatch one decoded protocol message; ``False`` requests shutdown.
 
         ``send`` is a callable taking one response dict; job lifecycle events
-        are delivered through it as they happen.
+        are delivered through it as they happen.  A job op with a truthy
+        ``stream`` field additionally receives one ``progress`` event per
+        structured progress report, before the terminal event.  ``tickets``
+        (when given) collects the Ticket of every job this message submits so
+        a connection front-end can disown them on disconnect.
         """
         client_id = message.get("id")
 
@@ -288,7 +372,25 @@ class ExperimentService:
                         }
                     )
 
-            await self.submit(request, on_event=on_event)
+            on_progress = None
+            if message.get("stream"):
+
+                def on_progress(ticket: Ticket, payload: dict) -> None:
+                    reply(
+                        {
+                            "event": "progress",
+                            "ticket": ticket.ticket_id,
+                            "progress": payload,
+                        }
+                    )
+
+            ticket = await self.submit(request, on_event=on_event, on_progress=on_progress)
+            if tickets is not None:
+                # Drop tickets that already reached a terminal state so a
+                # long-lived connection doesn't pin every result payload it
+                # ever received (only live jobs need disowning on disconnect).
+                tickets[:] = [t for t in tickets if not t.retired]
+                tickets.append(ticket)
         else:
             reply(
                 {
@@ -298,11 +400,30 @@ class ExperimentService:
             )
         return True
 
+    def _disown_connection_tickets(self, tickets: list[Ticket]) -> None:
+        """Detach a dead connection from every job it submitted.
+
+        Without this, the per-ticket event callbacks keep appending to the
+        closed connection's outbox for as long as their jobs live — a slow
+        leak in a long-lived server.  Each ticket is neutralized and then
+        cancelled: a sole-ticket job is dropped (queued) or cooperatively
+        interrupted (running); a job shared with other connections keeps
+        running and only this connection's ticket detaches.
+        """
+        for ticket in tickets:
+            ticket.on_event = None
+            ticket.on_progress = None
+            if ticket.cancelled or ticket.job.state in ("done", "failed", "cancelled"):
+                continue
+            with contextlib.suppress(KeyError):
+                self.queue.cancel(ticket.ticket_id)
+
     async def handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         """Serve one TCP client: JSON lines in, event lines out."""
         outbox: asyncio.Queue[dict | None] = asyncio.Queue()
+        tickets: list[Ticket] = []
 
         async def drain_outbox() -> None:
             while True:
@@ -328,15 +449,18 @@ class ExperimentService:
                 except ProtocolError as error:
                     outbox.put_nowait({"event": "error", "error": str(error)})
                     continue
-                if not await self.handle_message(message, outbox.put_nowait):
+                if not await self.handle_message(message, outbox.put_nowait, tickets):
                     break
         except asyncio.CancelledError:
             pass  # server shutting down mid-connection; fall through to cleanup
         finally:
+            self._disown_connection_tickets(tickets)
             outbox.put_nowait(None)
-            with contextlib.suppress(asyncio.CancelledError):
-                await sender
-            sender.cancel()
+            # Bound the final drain: a peer that stopped reading must not be
+            # able to hang connection close on writer.drain() forever.
+            # wait_for cancels the sender on timeout.
+            with contextlib.suppress(asyncio.TimeoutError, asyncio.CancelledError):
+                await asyncio.wait_for(sender, timeout=CLOSE_DRAIN_TIMEOUT)
             writer.close()
             with contextlib.suppress(ConnectionError, OSError, asyncio.CancelledError):
                 await writer.wait_closed()

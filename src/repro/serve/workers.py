@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import asyncio
 
+from repro.core.progress import ProgressToken, SweepCancelled
 from repro.runtime import RuntimeSession, simulate, use_session
 from repro.runtime.cache import CacheStats
 from repro.runtime.serialization import network_result_to_dict
@@ -101,23 +102,40 @@ class _TraceView:
         return len(self._inner)
 
 
-def _job_session(shared: RuntimeSession) -> RuntimeSession:
+def _job_session(
+    shared: RuntimeSession, progress: ProgressToken | None = None
+) -> RuntimeSession:
     """A stats view of ``shared``: same cache and traces, private counters."""
     return RuntimeSession(
-        cache=_CacheView(shared.cache), traces=_TraceView(shared.traces)
+        cache=_CacheView(shared.cache),
+        traces=_TraceView(shared.traces),
+        progress=progress,
     )
 
 
-def execute_request(request: ServeRequest, shared: RuntimeSession) -> tuple[dict, dict]:
+def execute_request(
+    request: ServeRequest,
+    shared: RuntimeSession,
+    progress: ProgressToken | None = None,
+) -> tuple[dict, dict]:
     """Execute one typed request against the shared session (worker thread).
 
     Returns ``(result payload, per-request RunStats dict)``.  The payload is
     JSON-ready: experiment results via ``ExperimentResult.to_dict``, raw
     simulations via :func:`network_result_to_dict`.
+
+    ``progress`` (the job's :class:`ProgressToken`) rides the per-job session
+    view down into the runtime funnels: the sweep checks it at cooperative
+    checkpoints (raising :class:`SweepCancelled` once the last interested
+    ticket cancelled) and per-layer/per-network progress events flow back
+    through it.  ``run_all`` additionally emits one ``experiment_done`` event
+    with the partial result after each experiment completes.
     """
     from repro.experiments.runner import EXPERIMENTS, run_experiment
 
-    view = _job_session(shared)
+    if progress is not None:
+        progress.checkpoint()
+    view = _job_session(shared, progress)
     with use_session(view):
         if isinstance(request, ExperimentRequest):
             result = run_experiment(
@@ -126,10 +144,21 @@ def execute_request(request: ServeRequest, shared: RuntimeSession) -> tuple[dict
             payload = {"kind": "experiment", "experiment": result.to_dict()}
         elif isinstance(request, RunAllRequest):
             preset = request.resolved_preset()
-            results = {
-                name: run_experiment(name, preset=preset, seed=request.seed).to_dict()
-                for name in EXPERIMENTS
-            }
+            results = {}
+            for index, name in enumerate(EXPERIMENTS):
+                results[name] = run_experiment(
+                    name, preset=preset, seed=request.seed
+                ).to_dict()
+                if progress is not None:
+                    progress.emit(
+                        {
+                            "stage": "experiment_done",
+                            "experiment": name,
+                            "completed": index + 1,
+                            "total": len(EXPERIMENTS),
+                            "result": results[name],
+                        }
+                    )
             payload = {"kind": "run_all", "experiments": results}
         elif isinstance(request, SimulateRequest):
             results = simulate(request.simulation_request())
@@ -179,18 +208,31 @@ class WorkerPool:
         self.queue.abandon_pending()
 
     async def _worker(self, index: int) -> None:
+        loop = asyncio.get_running_loop()
         while True:
             job = await self.queue.next_job()
             if job is None:
                 return
+            # Progress events originate on the simulating thread; marshal
+            # them onto the event loop before they touch queue/ticket state.
+            job.token.on_progress = (
+                lambda payload, job=job: loop.call_soon_threadsafe(
+                    self.queue.deliver_progress, job, payload
+                )
+            )
             self.queue.mark_running(job)
             try:
                 payload, stats = await asyncio.to_thread(
-                    execute_request, job.request, self.session
+                    execute_request, job.request, self.session, job.token
                 )
             except asyncio.CancelledError:
                 self.queue.finish(job, error="worker cancelled")
                 raise
+            except SweepCancelled:
+                # Every interested ticket is gone; the checkpoint freed us.
+                self.queue.finish(
+                    job, error="cancelled at a cooperative checkpoint", cancelled=True
+                )
             except Exception as error:  # noqa: BLE001 - failures become responses
                 self.queue.finish(job, error=f"{type(error).__name__}: {error}")
             else:

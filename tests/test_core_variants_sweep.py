@@ -4,6 +4,7 @@ import pytest
 
 from repro.arch.tiling import SamplingConfig
 from repro.core.accelerator import PragmaticAccelerator
+from repro.core.progress import ProgressToken, SweepCancelled
 from repro.core.sweep import sweep_network
 from repro.core.variants import (
     FIG9_FIRST_STAGE_BITS,
@@ -73,3 +74,51 @@ class TestSweep:
         )
         assert swept["x"].accelerator == "PRA-3b"
         assert swept["x"].network == tiny_trace.network.name
+
+
+class TestSweepProgress:
+    def test_progress_token_does_not_change_results(self, tiny_trace):
+        sampling = SamplingConfig(exact=True)
+        configs = {"a": pallet_variant(2), "b": column_variant(1)}
+        plain = sweep_network(tiny_trace, configs, sampling=sampling)
+        events = []
+        observed = sweep_network(
+            tiny_trace, configs, sampling=sampling, progress=ProgressToken(events.append)
+        )
+        for label in configs:
+            assert observed[label].cycles == pytest.approx(plain[label].cycles)
+        layer_events = [event for event in events if event["stage"] == "layer"]
+        assert len(layer_events) == tiny_trace.network.num_layers
+        assert [event["index"] for event in layer_events] == [0, 1]
+        assert all(
+            event["network"] == tiny_trace.network.name for event in layer_events
+        )
+
+    def test_cancelled_token_aborts_before_any_work(self, tiny_trace):
+        token = ProgressToken()
+        token.cancel()
+        with pytest.raises(SweepCancelled):
+            sweep_network(tiny_trace, {"x": pallet_variant(2)}, progress=token)
+
+    def test_cancellation_interrupts_between_layers(self, tiny_trace):
+        token = ProgressToken()
+        events = []
+
+        def cancel_after_first_layer(event):
+            events.append(event)
+            token.cancel()
+
+        token.on_progress = cancel_after_first_layer
+        with pytest.raises(SweepCancelled):
+            sweep_network(tiny_trace, {"x": pallet_variant(2)}, progress=token)
+        # Exactly one layer completed before the checkpoint fired.
+        assert [event["index"] for event in events if event["stage"] == "layer"] == [0]
+
+    def test_raising_observer_is_disarmed_not_fatal(self, tiny_trace):
+        def broken(event):
+            raise RuntimeError("observer bug")
+
+        token = ProgressToken(broken)
+        swept = sweep_network(tiny_trace, {"x": pallet_variant(2)}, progress=token)
+        assert "x" in swept
+        assert token.on_progress is None  # disarmed after the first failure

@@ -301,22 +301,22 @@ class TestCacheCLI:
             runner_main(["--cache-gc"])
 
     def test_size_and_age_suffix_parsing(self):
-        from repro.experiments.runner import _parse_age, _parse_size
+        from repro.experiments.base import parse_age, parse_size
 
-        assert _parse_size("1024") == 1024
-        assert _parse_size("2K") == 2048
-        assert _parse_size("500M") == 500 * 1024**2
-        assert _parse_size("1g") == 1024**3
-        assert _parse_age("90") == 90.0
-        assert _parse_age("2m") == 120.0
-        assert _parse_age("3h") == 10800.0
-        assert _parse_age("30d") == 30 * 86400.0
+        assert parse_size("1024") == 1024
+        assert parse_size("2K") == 2048
+        assert parse_size("500M") == 500 * 1024**2
+        assert parse_size("1g") == 1024**3
+        assert parse_age("90") == 90.0
+        assert parse_age("2m") == 120.0
+        assert parse_age("3h") == 10800.0
+        assert parse_age("30d") == 30 * 86400.0
         import argparse
 
         with pytest.raises(argparse.ArgumentTypeError):
-            _parse_size("lots")
+            parse_size("lots")
         with pytest.raises(argparse.ArgumentTypeError):
-            _parse_age("-5")
+            parse_age("-5")
 
 
 class TestEnvVarResolution:

@@ -205,3 +205,17 @@ class TestParallelExecution:
         parallel = run_experiments(["table5"], preset=SMOKE, jobs=2, no_cache=True)
         assert parallel.results == serial.results
         assert parallel.simulation_jobs == 0  # degraded to experiment-level jobs
+
+    def test_failing_job_fails_the_run_fast(self, tmp_path):
+        # A raising job must propagate without first waiting out (or worse,
+        # executing) every sibling future: the pool is shut down with
+        # cancel_futures=True.  An unknown network makes every simulation
+        # job raise in its worker.
+        bad = Preset(
+            name="bad",
+            networks=("alexnet", "no_such_network"),
+            samples_per_layer=200,
+            max_pallets=1,
+        )
+        with pytest.raises(Exception, match="no_such_network"):
+            run_experiments(["fig9"], preset=bad, jobs=2, cache_dir=tmp_path)

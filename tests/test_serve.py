@@ -218,6 +218,73 @@ class TestRequestQueue:
 
         run(scenario())
 
+    def test_cancelling_last_ticket_of_running_job_cancels_its_token(self):
+        async def scenario():
+            queue = RequestQueue()
+            ticket = queue.submit(StubRequest("a"))
+            job = await queue.next_job()
+            queue.mark_running(job)
+            changed, state = queue.cancel(ticket.ticket_id)
+            assert changed and state == "cancelled"
+            # The job is doomed but still unwinding on its worker thread —
+            # and still counted as running (it occupies real capacity).
+            assert job.token.cancelled
+            assert job.state == "running"
+            assert queue.depth()["running"] == 1
+            # An identical request submitted now starts fresh instead of
+            # coalescing onto the job that will never produce a result.
+            again = queue.submit(StubRequest("a"))
+            assert again.job is not job and not again.coalesced
+            # The worker observes the checkpoint and reports the interruption.
+            queue.finish(job, error="cancelled at a cooperative checkpoint", cancelled=True)
+            assert job.state == "cancelled"
+            assert job.done.is_set()
+            assert queue.depth()["interrupted"] == 1
+            assert queue.depth()["running"] == 0  # worker capacity released
+            # finish() must not evict the *fresh* job from the in-flight index.
+            assert (await queue.next_job()) is again.job
+
+        run(scenario())
+
+    def test_cancelling_one_of_two_running_tickets_detaches_only(self):
+        async def scenario():
+            queue = RequestQueue()
+            first = queue.submit(StubRequest("a"))
+            second = queue.submit(StubRequest("a"))
+            job = await queue.next_job()
+            queue.mark_running(job)
+            queue.cancel(second.ticket_id)
+            assert not job.token.cancelled  # a live ticket still wants the result
+            queue.finish(job, result={}, stats={})
+            assert first.state == "done"
+            assert second.state == "cancelled"
+            assert queue.depth()["interrupted"] == 0
+
+        run(scenario())
+
+    def test_progress_fans_out_to_streaming_live_tickets_only(self):
+        async def scenario():
+            queue = RequestQueue()
+            got = []
+            streaming = queue.submit(
+                StubRequest("a"), on_progress=lambda t, p: got.append(("s", p))
+            )
+            queue.submit(StubRequest("a"))  # no on_progress: never notified
+            doomed = queue.submit(
+                StubRequest("a"), on_progress=lambda t, p: got.append(("d", p))
+            )
+            job = await queue.next_job()
+            queue.mark_running(job)
+            queue.cancel(doomed.ticket_id)  # detaches: stops receiving progress
+            queue.deliver_progress(job, {"stage": "layer", "index": 0})
+            assert got == [("s", {"stage": "layer", "index": 0})]
+            queue.finish(job, result={}, stats={})
+            queue.deliver_progress(job, {"stage": "layer", "index": 1})
+            assert len(got) == 1  # post-terminal events are dropped
+            assert streaming.state == "done"
+
+        run(scenario())
+
     def test_finished_tickets_are_evicted_beyond_the_history_bound(self, monkeypatch):
         # A long-lived server must not retain every result payload forever.
         import repro.serve.queue as queue_module
@@ -486,6 +553,382 @@ class TestConcurrentServing:
         run(scenario())
 
 
+# -------------------------------------------------------- cancellation/streaming
+#: Two-network tiny workload for streaming acceptance tests.
+TINY2 = {"networks": ["alexnet", "vgg_m"], "max_pallets": 2, "samples_per_layer": 1500}
+
+
+class TestRunningCancellation:
+    def test_cancel_running_sole_ticket_frees_worker_before_completion(self):
+        """Acceptance: cancelling the only ticket of a running multi-network
+        job frees its worker before the job would have finished — proven by
+        event ordering: the interrupted job saw only a fraction of its
+        experiments, and a job submitted *after* the cancel completes on the
+        single worker."""
+
+        async def scenario():
+            async with ExperimentService(cache_dir=None, workers=1) as service:
+                events = []
+                first_progress = asyncio.Event()
+
+                def on_event(ticket, event):
+                    events.append(("slow", event))
+
+                def on_progress(ticket, payload):
+                    events.append(("slow", f"progress:{payload['stage']}"))
+                    first_progress.set()
+
+                request = parse_request(
+                    {"op": "run_all", "preset": "fast", "overrides": TINY2}
+                )
+                ticket = await service.submit(
+                    request, on_event=on_event, on_progress=on_progress
+                )
+                await asyncio.wait_for(first_progress.wait(), timeout=60)
+                response = service.cancel(ticket.ticket_id)
+                assert response["event"] == "cancelled" and response["changed"]
+                assert ticket.job.token.cancelled
+                # The worker observes the next cooperative checkpoint and frees up.
+                await asyncio.wait_for(ticket.job.done.wait(), timeout=60)
+                assert ticket.job.state == "cancelled"
+                assert service.queue.depth()["interrupted"] == 1
+                # Far fewer experiments completed than run_all executes in full.
+                done_experiments = [
+                    e for e in events if e[1] == "progress:experiment_done"
+                ]
+                from repro.experiments.runner import EXPERIMENTS
+
+                assert len(done_experiments) < len(EXPERIMENTS)
+                # The freed worker picks up new work submitted after the cancel.
+                quick = await service.submit(
+                    ExperimentRequest("table3", preset="smoke"),
+                    on_event=lambda t, e: events.append(("quick", e)),
+                )
+                result = await asyncio.wait_for(service.wait(quick), timeout=60)
+                assert result["event"] == "done"
+                # Wire-order: the slow job's cancelled strictly precedes the
+                # quick job's done.
+                assert events.index(("slow", "cancelled")) < events.index(
+                    ("quick", "done")
+                )
+                assert ("slow", "done") not in events
+
+        run(scenario())
+
+    def test_cancel_with_surviving_coalesced_ticket_keeps_job_running(self):
+        async def scenario():
+            async with ExperimentService(cache_dir=None, workers=1) as service:
+                running = asyncio.Event()
+                message = {
+                    "op": "run_experiment",
+                    "experiment": "fig9",
+                    "preset": "fast",
+                    "overrides": TINY,
+                }
+                first = await service.submit(
+                    parse_request(message),
+                    on_event=lambda t, e: running.set() if e == "running" else None,
+                )
+                second = await service.submit(parse_request(dict(message)))
+                assert second.job is first.job and second.coalesced
+                await asyncio.wait_for(running.wait(), timeout=30)
+                changed, state = service.queue.cancel(second.ticket_id)
+                assert changed and state == "cancelled"
+                # Detach-only: a live ticket still wants the result.
+                assert not first.job.token.cancelled
+                response = await asyncio.wait_for(service.wait(first), timeout=60)
+                assert response["event"] == "done"
+                assert response["stats"]["sweep"]["configs_simulated"] == 5
+                assert second.state == "cancelled"
+                assert service.queue.depth()["interrupted"] == 0
+
+        run(scenario())
+
+    def test_cancel_then_result_ordering_on_the_wire(self):
+        """After the terminal ``cancelled`` event, nothing else arrives for
+        that request id — in particular no late ``done`` once the worker
+        unwinds."""
+
+        async def scenario():
+            async with ExperimentService(cache_dir=None, workers=1) as service:
+                server = await service.serve_tcp("127.0.0.1", 0)
+                port = server.sockets[0].getsockname()[1]
+                async with server:
+                    client = await ServeClient.connect("127.0.0.1", port)
+                    events = []
+                    ticket_id = None
+                    async for event in client.stream_run_all(
+                        preset="fast", overrides=TINY2
+                    ):
+                        events.append(event["event"])
+                        if event["event"] == "progress" and ticket_id is None:
+                            ticket_id = event["ticket"]
+                            ack = await client.cancel(ticket_id)
+                            assert ack["event"] == "cancelled" and ack["changed"]
+                    assert events[-1] == "cancelled"
+                    assert "done" not in events and "failed" not in events
+                    # Wait out the worker's unwind, then prove no stray event
+                    # arrived for the cancelled request: ping round-trips on
+                    # the same ordered connection.
+                    ticket = service.queue.get(ticket_id)
+                    await asyncio.wait_for(ticket.job.done.wait(), timeout=60)
+                    assert ticket.job.state == "cancelled"
+                    assert await client.ping()
+                    await client.close()
+
+        run(scenario())
+
+
+class TestStreaming:
+    def test_stream_run_all_yields_progress_per_network_before_done(self):
+        """Acceptance: a ``stream: true`` run_all emits at least one progress
+        event per network before the terminal done."""
+
+        async def scenario():
+            async with ExperimentService(cache_dir=None, workers=1) as service:
+                server = await service.serve_tcp("127.0.0.1", 0)
+                port = server.sockets[0].getsockname()[1]
+                async with server:
+                    client = await ServeClient.connect("127.0.0.1", port)
+                    events = []
+                    async for event in client.stream_run_all(
+                        preset="fast", overrides=TINY2
+                    ):
+                        events.append(event)
+                    assert events[-1]["event"] == "done"
+                    progress = [e for e in events if e["event"] == "progress"]
+                    assert progress, "no progress events on a streamed run_all"
+                    networks = {
+                        e["progress"].get("network")
+                        for e in progress
+                        if e["progress"]["stage"] in ("network", "layer", "statistics")
+                    }
+                    assert {"alexnet", "vgg_m"} <= networks
+                    # Partial results stream per completed experiment.
+                    partials = [
+                        e["progress"]
+                        for e in progress
+                        if e["progress"]["stage"] == "experiment_done"
+                    ]
+                    assert partials and all("result" in p for p in partials)
+                    assert events.index(
+                        next(e for e in events if e["event"] == "progress")
+                    ) < events.index(events[-1])
+                    await client.close()
+
+        run(scenario())
+
+    def test_unstreamed_requests_receive_no_progress_events(self):
+        async def scenario():
+            async with ExperimentService(cache_dir=None, workers=1) as service:
+                server = await service.serve_tcp("127.0.0.1", 0)
+                port = server.sockets[0].getsockname()[1]
+                async with server:
+                    client = await ServeClient.connect("127.0.0.1", port)
+                    response = await client.run_experiment(
+                        "fig9", preset="fast", overrides=TINY
+                    )
+                    assert response.ok
+                    assert "progress" not in response.events
+                    await client.close()
+
+        run(scenario())
+
+    def test_stream_events_interleave_cleanly_under_two_clients(self):
+        async def scenario():
+            async with ExperimentService(cache_dir=None, workers=2) as service:
+                server = await service.serve_tcp("127.0.0.1", 0)
+                port = server.sockets[0].getsockname()[1]
+                async with server:
+                    one = await ServeClient.connect("127.0.0.1", port)
+                    two = await ServeClient.connect("127.0.0.1", port)
+
+                    async def consume(client, message):
+                        events = []
+                        async for event in client.stream(message):
+                            events.append(event)
+                        return events
+
+                    first, second = await asyncio.gather(
+                        consume(
+                            one,
+                            {
+                                "op": "run_experiment",
+                                "experiment": "fig9",
+                                "preset": "fast",
+                                "overrides": TINY,
+                            },
+                        ),
+                        consume(
+                            two,
+                            {
+                                "op": "run_experiment",
+                                "experiment": "fig10",
+                                "preset": "fast",
+                                "overrides": TINY,
+                            },
+                        ),
+                    )
+                    tickets = set()
+                    for events in (first, second):
+                        assert events[-1]["event"] == "done"
+                        progress = [e for e in events if e["event"] == "progress"]
+                        assert progress  # both streams saw incremental events
+                        # Every event of one stream belongs to exactly one job.
+                        own = {e["ticket"] for e in events if "ticket" in e}
+                        assert len(own) == 1
+                        tickets |= own
+                    assert len(tickets) == 2  # no cross-talk between clients
+                    await one.close()
+                    await two.close()
+
+        run(scenario())
+
+
+# ------------------------------------------------------------------ disconnects
+class TestDisconnectCleanup:
+    def test_disconnect_cancels_sole_ticket_running_job_and_frees_worker(self):
+        async def scenario():
+            async with ExperimentService(cache_dir=None, workers=1) as service:
+                server = await service.serve_tcp("127.0.0.1", 0)
+                port = server.sockets[0].getsockname()[1]
+                async with server:
+                    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                    writer.write(
+                        encode(
+                            {
+                                "id": "c1",
+                                "op": "run_all",
+                                "preset": "fast",
+                                "overrides": TINY2,
+                                "stream": True,
+                            }
+                        )
+                    )
+                    await writer.drain()
+                    ticket_id = None
+                    while True:
+                        payload = decode(await asyncio.wait_for(reader.readline(), 30))
+                        if payload["event"] == "queued":
+                            ticket_id = payload["ticket"]
+                        if payload["event"] == "progress":
+                            break  # the job is demonstrably mid-execution
+                    ticket = service.queue.get(ticket_id)
+                    writer.close()  # abrupt disconnect, no cancel op sent
+                    # The server disowns the connection: callbacks neutralized,
+                    # the sole-ticket job cooperatively cancelled, worker freed.
+                    await asyncio.wait_for(ticket.job.done.wait(), timeout=60)
+                    assert ticket.job.state == "cancelled"
+                    assert ticket.on_event is None and ticket.on_progress is None
+                    assert service.queue.depth()["interrupted"] == 1
+                    follow_up = await service.submit(
+                        ExperimentRequest("table3", preset="smoke")
+                    )
+                    result = await asyncio.wait_for(service.wait(follow_up), timeout=60)
+                    assert result["event"] == "done"
+
+        run(scenario())
+
+    def test_connection_ticket_list_drops_finished_tickets(self):
+        # Regression: the per-connection disown list must not pin every
+        # finished job's result payload for the connection's lifetime.
+        async def scenario():
+            async with ExperimentService(cache_dir=None, workers=1) as service:
+                sent: list = []
+                tickets: list = []
+                for seed in (0, 1, 2):
+                    await service.handle_message(
+                        {
+                            "op": "run_experiment",
+                            "experiment": "table3",
+                            "preset": "smoke",
+                            "seed": seed,
+                        },
+                        sent.append,
+                        tickets,
+                    )
+                    await asyncio.wait_for(tickets[-1].job.done.wait(), timeout=30)
+                # Each new submission pruned the finished predecessors.
+                assert len(tickets) == 1
+                assert [e["event"] for e in sent].count("done") == 3
+
+        run(scenario())
+
+    def test_disconnect_detaches_but_keeps_jobs_shared_with_others(self):
+        async def scenario():
+            async with ExperimentService(cache_dir=None, workers=1) as service:
+                running = asyncio.Event()
+                message = {
+                    "op": "run_experiment",
+                    "experiment": "fig9",
+                    "preset": "fast",
+                    "overrides": TINY,
+                }
+                survivor = await service.submit(
+                    parse_request(message),
+                    on_event=lambda t, e: running.set() if e == "running" else None,
+                )
+                # A second "connection" submits the identical request...
+                sent: list = []
+                tickets: list = []
+                await service.handle_message(
+                    {**message, "id": "c9"}, sent.append, tickets
+                )
+                assert len(tickets) == 1 and tickets[0].job is survivor.job
+                await asyncio.wait_for(running.wait(), timeout=30)
+                # ... then dies.  Its ticket detaches; the shared job survives.
+                service._disown_connection_tickets(tickets)
+                assert tickets[0].cancelled
+                assert not survivor.job.token.cancelled
+                response = await asyncio.wait_for(service.wait(survivor), timeout=60)
+                assert response["event"] == "done"
+
+        run(scenario())
+
+
+# ---------------------------------------------------------------- background GC
+class TestBackgroundGC:
+    def test_gc_task_collects_the_disk_cache_periodically(self, tmp_path):
+        async def scenario():
+            service = ExperimentService(
+                cache_dir=tmp_path, workers=1, gc_interval=0.05, gc_max_bytes=0
+            )
+            async with service:
+                service.session.cache.put("deadbeef", {"x": 1})
+                assert len(service.session.cache) == 1
+                for _ in range(100):
+                    await asyncio.sleep(0.05)
+                    if service.gc_runs and len(service.session.cache) == 0:
+                        break
+                assert service.gc_runs >= 1
+                assert service.gc_removed_entries >= 1
+                assert len(service.session.cache) == 0
+                stats = service.stats()
+                assert stats["background_gc"]["runs"] >= 1
+                assert stats["background_gc"]["max_bytes"] == 0
+            assert service._gc_task is None  # stop() tears the task down
+
+        run(scenario())
+
+    def test_gc_configuration_is_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            ExperimentService(cache_dir=tmp_path, gc_interval=60)  # no bounds
+        with pytest.raises(ValueError):
+            ExperimentService(cache_dir=tmp_path, gc_interval=0, gc_max_bytes=1)
+
+    def test_gc_task_not_started_without_a_disk_cache(self):
+        async def scenario():
+            service = ExperimentService(
+                cache_dir=None, workers=1, gc_interval=0.05, gc_max_bytes=0
+            )
+            async with service:
+                assert service._gc_task is None  # memory cache: nothing to collect
+                stats = service.stats()
+                assert stats["background_gc"]["runs"] == 0
+
+        run(scenario())
+
+
 # ---------------------------------------------------------------------- fronts
 class TestFrontEnds:
     def test_stdio_protocol_round_trip(self):
@@ -521,6 +964,12 @@ class TestFrontEnds:
             serve_main(["--workers", "0", "--selftest"])
         with pytest.raises(SystemExit):
             serve_main(["--tcp", "nonsense"])
+        with pytest.raises(SystemExit):
+            serve_main(["--gc-interval", "60"])  # needs a GC bound
+        with pytest.raises(SystemExit):
+            serve_main(["--gc-interval", "0", "--gc-max-bytes", "1"])
+        with pytest.raises(SystemExit):
+            serve_main(["--gc-interval", "60", "--gc-max-bytes", "1", "--no-cache"])
 
     def test_shutdown_op_stops_a_tcp_server(self):
         async def scenario():
