@@ -13,6 +13,8 @@ simulations — each benchmark pays the full cost of its own reproduction.
 
 from __future__ import annotations
 
+import json
+import time
 from pathlib import Path
 
 import pytest
@@ -24,6 +26,13 @@ from repro.runtime import isolated_session
 #: Directory the benchmark reports are written to.
 REPORTS_DIR = Path(__file__).parent / "reports"
 
+#: Machine-readable per-experiment wall times, merged across benchmark runs
+#: so the performance trajectory is trackable across PRs.
+SUMMARY_PATH = REPORTS_DIR / "bench_summary.json"
+
+#: Schema version of ``bench_summary.json``.
+SUMMARY_SCHEMA = 1
+
 #: Preset used by every benchmark run.
 BENCHMARK_PRESET = "fast"
 
@@ -34,13 +43,46 @@ def _run_isolated(experiment: str, preset: str) -> ExperimentResult:
         return run_experiment(experiment, preset=preset)
 
 
+def record_summary(experiment: str, preset: str, wall_seconds: float) -> None:
+    """Merge one measurement into ``bench_summary.json`` (atomic enough for CI).
+
+    The file maps experiment id → its latest measurement; a corrupted or
+    missing summary is simply restarted, never fatal to the benchmark.
+    """
+    summary = {"schema": SUMMARY_SCHEMA, "experiments": {}}
+    try:
+        loaded = json.loads(SUMMARY_PATH.read_text(encoding="utf-8"))
+        if loaded.get("schema") == SUMMARY_SCHEMA and isinstance(
+            loaded.get("experiments"), dict
+        ):
+            summary = loaded
+    except (OSError, ValueError):
+        pass
+    summary["experiments"][experiment] = {
+        "preset": preset,
+        "wall_seconds": round(wall_seconds, 3),
+    }
+    SUMMARY_PATH.write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
 def run_and_report(benchmark, experiment: str, preset: str = BENCHMARK_PRESET) -> ExperimentResult:
     """Run one experiment under pytest-benchmark and persist its report."""
+    durations: list[float] = []
+
+    def timed(experiment: str, preset: str) -> ExperimentResult:
+        started = time.perf_counter()
+        result = _run_isolated(experiment, preset)
+        durations.append(time.perf_counter() - started)
+        return result
+
     result = benchmark.pedantic(
-        _run_isolated, args=(experiment, preset), rounds=1, iterations=1
+        timed, args=(experiment, preset), rounds=1, iterations=1
     )
     REPORTS_DIR.mkdir(exist_ok=True)
     (REPORTS_DIR / f"{experiment}.txt").write_text(result.to_text() + "\n")
+    record_summary(experiment, preset, durations[-1])
     return result
 
 

@@ -1,8 +1,9 @@
 """``python -m repro`` — command-line entry points.
 
 ``python -m repro serve ...`` starts the async serving front-end
-(:mod:`repro.serve.cli`); anything else is the batch experiment runner CLI
-(:mod:`repro.experiments.runner`).
+(:mod:`repro.serve.cli`); ``python -m repro cluster ...`` starts the sharded
+multi-worker coordinator (:mod:`repro.cluster.cli`); anything else is the
+batch experiment runner CLI (:mod:`repro.experiments.runner`).
 """
 
 import sys
@@ -14,6 +15,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.serve.cli import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "cluster":
+        from repro.cluster.cli import main as cluster_main
+
+        return cluster_main(argv[1:])
     from repro.experiments.runner import main as runner_main
 
     return runner_main(argv)

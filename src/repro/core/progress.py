@@ -46,11 +46,30 @@ class ProgressToken:
     ) -> None:
         self._cancelled = threading.Event()
         self.on_progress = on_progress
+        #: Optional callback invoked (once) when cancellation is requested.
+        #: The sweep itself polls via :meth:`checkpoint`; this hook exists for
+        #: controllers that must *forward* a cancellation instead of polling —
+        #: the cluster coordinator uses it to relay a client's cancel to the
+        #: worker process that owns the running job.  Runs on the cancelling
+        #: thread; a raising callback is disarmed, never propagated.  Note the
+        #: hook is consumed at cancel time — a callback assigned *after*
+        #: cancellation must pair the assignment with a ``cancelled`` check.
+        self.on_cancel: Callable[[], None] | None = None
+        self._cancel_lock = threading.Lock()
 
     # ----------------------------------------------------------- cancellation
     def cancel(self) -> None:
         """Request cooperative cancellation (idempotent, thread-safe)."""
         self._cancelled.set()
+        # Atomically consume the hook so concurrent cancels from two threads
+        # cannot both observe it — the callback runs exactly once.
+        with self._cancel_lock:
+            observer, self.on_cancel = self.on_cancel, None
+        if observer is not None:
+            try:
+                observer()
+            except Exception:
+                pass
 
     @property
     def cancelled(self) -> bool:

@@ -13,7 +13,8 @@ Layering::
     fingerprint   stable content hashes (no repro dependencies)
     serialization NetworkResult/LayerResult <-> JSON payloads
     lifecycle     manifest index, gzip entry codec, LRU garbage collection
-    cache         content-addressed result cache (memory / disk / disabled)
+    backends      pluggable storage (memory / filesystem / shared directory)
+    cache         content-addressed result cache (policy over one backend)
     trace_store   TraceSpec + per-session calibrated-trace store
     session       RuntimeSession (cache + traces + stats) and the active session
     engine        simulate()/analyze(): cached execution against the session
@@ -26,6 +27,13 @@ top of this package.
 """
 
 from repro.core.progress import ProgressToken, SweepCancelled
+from repro.runtime.backends import (
+    CacheBackend,
+    CorruptEntry,
+    FilesystemBackend,
+    InMemoryBackend,
+    SharedDirectoryBackend,
+)
 from repro.runtime.cache import CacheStats, ResultCache
 from repro.runtime.engine import SimulationRequest, StatisticsRequest, analyze, simulate
 from repro.runtime.fingerprint import (
@@ -56,8 +64,13 @@ from repro.runtime.session import (
 from repro.runtime.trace_store import TraceSpec, TraceStore
 
 __all__ = [
+    "CacheBackend",
     "CacheManifest",
     "CacheStats",
+    "CorruptEntry",
+    "FilesystemBackend",
+    "InMemoryBackend",
+    "SharedDirectoryBackend",
     "ProgressToken",
     "SweepCancelled",
     "DEFAULT_CACHE_DIR",

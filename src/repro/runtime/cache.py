@@ -1,26 +1,27 @@
-"""Content-addressed result cache.
+"""Content-addressed result cache over a pluggable storage backend.
 
 One :class:`ResultCache` stores JSON payloads under fingerprint keys (see
-:mod:`repro.runtime.fingerprint`).  Three modes share the interface:
+:mod:`repro.runtime.fingerprint`).  The cache owns *policy* — hit/miss/error
+accounting, the bounded in-process memo, the enabled/disabled switch — while
+the storage itself is a :class:`~repro.runtime.backends.CacheBackend`:
 
-* **disk** (``directory`` set) — one gzip-compressed ``<key>.json.gz`` file
-  per entry, written atomically so concurrent process-pool workers can share
-  the directory (legacy uncompressed ``<key>.json`` entries remain
-  readable); a *bounded* in-process memo avoids re-reading entries this
-  process already touched, and a persistent manifest
-  (:mod:`repro.runtime.lifecycle`) indexes sizes and LRU timestamps so
-  ``len(cache)``, :meth:`ResultCache.usage` and garbage collection never
-  scan the directory.
-* **memory** (``directory=None``) — a per-process dict; the default for
-  library use so importing ``repro`` never writes to disk.  The memo *is*
-  the store here, so it is never evicted.
-* **disabled** (``ResultCache.disabled()``) — every lookup misses and stores
-  are dropped (the ``--no-cache`` mode).
+* ``ResultCache()`` — an :class:`~repro.runtime.backends.InMemoryBackend`;
+  the default for library use, so importing ``repro`` never writes to disk.
+* ``ResultCache(directory=...)`` — a
+  :class:`~repro.runtime.backends.FilesystemBackend`: gzip-compressed entry
+  files written atomically plus a persistent manifest
+  (:mod:`repro.runtime.lifecycle`) so ``len()``, :meth:`ResultCache.usage`
+  and garbage collection never scan the directory.
+* ``ResultCache(backend=...)`` — any backend, e.g. the multi-process-safe
+  :class:`~repro.runtime.backends.SharedDirectoryBackend` cluster workers
+  share (``docs/cluster.md``), or a future object-store/redis backend.
+* :meth:`ResultCache.disabled` — every lookup misses and stores are dropped
+  (the ``--no-cache`` mode).
 
 Corrupted entries (truncated writes, manual edits, schema drift) are treated
-as misses: the entry is deleted, ``stats.errors`` is incremented and the
-caller recomputes.  The key scheme the cache is addressed by, the on-disk
-layout and the GC policy are documented in ``docs/runtime.md``.
+as misses: the backend drops the entry, ``stats.errors`` is incremented and
+the caller recomputes.  The key scheme, the on-disk layout, the GC policy and
+the backend interface are documented in ``docs/runtime.md``.
 """
 
 from __future__ import annotations
@@ -30,15 +31,22 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.runtime import lifecycle
+from repro.runtime.backends import (
+    CacheBackend,
+    CorruptEntry,
+    FilesystemBackend,
+    InMemoryBackend,
+)
 
 __all__ = ["CacheStats", "ResultCache", "DEFAULT_MEMO_ENTRIES"]
 
-#: Format version of on-disk entries; mismatches are treated as corruption.
+#: Format version of stored entries; re-exported for backward compatibility
+#: (the codec itself lives in :mod:`repro.runtime.backends`).
 ENTRY_SCHEMA = 1
 
-#: Default bound on the in-process memo of a *disk* cache.  A long-lived
+#: Default bound on the in-process memo of a *persistent* cache.  A long-lived
 #: serve process used to retain every payload it ever touched; beyond this
-#: many, the least-recently-used memo entries are dropped (the disk copy
+#: many, the least-recently-used memo entries are dropped (the backend copy
 #: still hits).
 DEFAULT_MEMO_ENTRIES = 512
 
@@ -50,8 +58,15 @@ class CacheStats:
     ``hits``/``misses``/``stores``/``errors`` are counters (summed by
     :meth:`merge`).  ``disk_entries``/``disk_bytes``/``memo_entries`` and
     ``oldest_age_seconds`` are *gauges* describing current cache state —
-    populated by :meth:`ResultCache.snapshot`, merged by ``max`` (merging
-    snapshots of one shared cache must not double its size).
+    populated by :meth:`ResultCache.snapshot`.  Gauges merge two ways:
+
+    * ``distinct_caches=False`` (default) — by ``max``: the snapshots
+      describe *one shared cache* seen from several views (pool workers, the
+      serve stats views), so summing them would double its size.
+    * ``distinct_caches=True`` — by sum: the snapshots describe *different
+      caches* (one per cluster worker process); taking ``max`` would silently
+      under-report aggregate footprint.  The cluster coordinator merges
+      worker snapshots this way (``docs/cluster.md``).
     """
 
     hits: int = 0
@@ -63,17 +78,20 @@ class CacheStats:
     memo_entries: int = 0
     oldest_age_seconds: float = 0.0
 
-    def merge(self, other: "CacheStats | dict") -> None:
-        """Accumulate counters (and max gauges) from another stats object."""
+    def merge(self, other: "CacheStats | dict", distinct_caches: bool = False) -> None:
+        """Accumulate counters (and max- or sum-merge gauges) from ``other``."""
         if isinstance(other, CacheStats):
             other = other.as_dict()
         self.hits += other.get("hits", 0)
         self.misses += other.get("misses", 0)
         self.stores += other.get("stores", 0)
         self.errors += other.get("errors", 0)
-        self.disk_entries = max(self.disk_entries, other.get("disk_entries", 0))
-        self.disk_bytes = max(self.disk_bytes, other.get("disk_bytes", 0))
-        self.memo_entries = max(self.memo_entries, other.get("memo_entries", 0))
+        gauge = (lambda mine, theirs: mine + theirs) if distinct_caches else max
+        self.disk_entries = gauge(self.disk_entries, other.get("disk_entries", 0))
+        self.disk_bytes = gauge(self.disk_bytes, other.get("disk_bytes", 0))
+        self.memo_entries = gauge(self.memo_entries, other.get("memo_entries", 0))
+        # Entry age is a maximum in both modes: ages never add up across
+        # caches, the fleet's oldest entry is simply the oldest anywhere.
         self.oldest_age_seconds = max(
             self.oldest_age_seconds, other.get("oldest_age_seconds", 0.0)
         )
@@ -99,21 +117,25 @@ class ResultCache:
         directory: str | Path | None = None,
         enabled: bool = True,
         memo_entries: int = DEFAULT_MEMO_ENTRIES,
+        backend: CacheBackend | None = None,
     ) -> None:
-        self.directory = Path(directory).expanduser() if directory is not None else None
+        if backend is not None and directory is not None:
+            raise ValueError("pass either directory or backend, not both")
+        if backend is None:
+            if enabled and directory is not None:
+                backend = FilesystemBackend(directory)
+            else:
+                backend = InMemoryBackend()
+        self.backend = backend
         self.enabled = enabled
         self.memo_entries = memo_entries
         self.stats = CacheStats()
         #: LRU memo keyed by ``(key, kind)`` — the kind is part of the memo
         #: key so an entry stored under one kind can never answer a lookup
-        #: for another (the disk path always enforced this).
+        #: for another (the backend always enforced this).
         self._memory: collections.OrderedDict[tuple[str, str], dict] = (
             collections.OrderedDict()
         )
-        self.manifest: lifecycle.CacheManifest | None = None
-        if self.enabled and self.directory is not None:
-            self.directory.mkdir(parents=True, exist_ok=True)
-            self.manifest = lifecycle.CacheManifest(self.directory)
 
     @classmethod
     def disabled(cls) -> "ResultCache":
@@ -121,9 +143,19 @@ class ResultCache:
         return cls(directory=None, enabled=False)
 
     @property
+    def directory(self) -> Path | None:
+        """Directory of a filesystem-shaped backend, ``None`` otherwise."""
+        return self.backend.directory
+
+    @property
+    def manifest(self) -> lifecycle.CacheManifest | None:
+        """Manifest index of a filesystem-shaped backend, ``None`` otherwise."""
+        return self.backend.manifest
+
+    @property
     def persistent(self) -> bool:
-        """Whether entries survive this process (i.e. the cache is on disk)."""
-        return self.enabled and self.directory is not None
+        """Whether entries survive this process."""
+        return self.enabled and self.backend.persistent
 
     # ------------------------------------------------------------------- memo
     def _memo_get(self, key: str, kind: str) -> dict | None:
@@ -135,26 +167,14 @@ class ResultCache:
     def _memo_put(self, key: str, kind: str, payload: dict) -> None:
         self._memory[(key, kind)] = payload
         self._memory.move_to_end((key, kind))
-        # Only a disk cache may evict: in memory mode the memo is the store.
-        if self.directory is not None:
-            while len(self._memory) > self.memo_entries:
-                self._memory.popitem(last=False)
+        while len(self._memory) > self.memo_entries:
+            self._memory.popitem(last=False)
 
     def _memo_drop(self, key: str) -> None:
         for memo_key in [mk for mk in self._memory if mk[0] == key]:
             del self._memory[memo_key]
 
     # ----------------------------------------------------------------- lookup
-    def _drop_corrupt(self, path: Path, key: str) -> None:
-        """Remove a corrupted entry (file + manifest record), counting the error."""
-        self.stats.errors += 1
-        try:
-            path.unlink()
-        except OSError:
-            pass
-        if self.manifest is not None:
-            self.manifest.record_remove(key)
-
     def get(self, key: str, kind: str = "network_result") -> dict | None:
         """Payload stored under ``key``, or ``None`` on a miss."""
         if not self.enabled:
@@ -163,35 +183,22 @@ class ResultCache:
         payload = self._memo_get(key, kind)
         if payload is not None:
             self.stats.hits += 1
-            if self.manifest is not None:
-                # Memo hits must advance the on-disk LRU clock too, or GC
-                # would evict the hottest entries first (record_use is
-                # throttled, so this stays cheap on the hot path).
-                self.manifest.record_use(key)
+            # Memo hits must advance the backend's LRU clock too, or GC
+            # would evict the hottest entries first (touch is throttled by
+            # the manifest, so this stays cheap on the hot path).
+            self.backend.touch(key)
             return payload
-        if self.directory is None:
-            self.stats.misses += 1
-            return None
-        path = lifecycle.find_entry(self.directory, key)
-        if path is None:
-            self.stats.misses += 1
-            return None
         try:
-            entry = lifecycle.read_entry(path)
-            if entry["schema"] != ENTRY_SCHEMA or entry["kind"] != kind:
-                raise ValueError("cache entry schema mismatch")
-            payload = entry["payload"]
-            if not isinstance(payload, dict):
-                raise ValueError("cache entry payload is not an object")
-        except (OSError, ValueError, KeyError, TypeError):
-            # Corrupted entry: drop it and recompute.
+            payload = self.backend.load(key, kind)
+        except CorruptEntry:
             self.stats.misses += 1
-            self._drop_corrupt(path, key)
+            self.stats.errors += 1
+            return None
+        if payload is None:
+            self.stats.misses += 1
             return None
         self.stats.hits += 1
         self._memo_put(key, kind, payload)
-        if self.manifest is not None:
-            self.manifest.record_use(key)
         return payload
 
     def contains(self, key: str, kind: str = "network_result") -> bool:
@@ -207,30 +214,17 @@ class ResultCache:
             return False
         if self._memo_get(key, kind) is not None:
             return True
-        if self.directory is None:
-            return False
-        path = lifecycle.find_entry(self.directory, key)
-        if path is None:
-            return False
         try:
-            entry = lifecycle.read_entry(path)
-            valid = (
-                entry["schema"] == ENTRY_SCHEMA
-                and entry["kind"] == kind
-                and isinstance(entry["payload"], dict)
-            )
-        except (OSError, ValueError, KeyError, TypeError):
-            valid = False
-        if not valid:
-            self._drop_corrupt(path, key)
+            return self.backend.probe(key, kind)
+        except CorruptEntry:
+            self.stats.errors += 1
             return False
-        return True
 
     # ------------------------------------------------------------------ store
     def put(self, key: str, payload: dict, kind: str = "network_result") -> None:
         """Store ``payload`` under ``key`` (atomic, compressed on disk).
 
-        Disk failures (read-only directory, disk full) are not fatal: the
+        Backend failures (read-only directory, disk full) are not fatal: the
         entry stays available in memory for this process and the failure is
         counted in ``stats.errors``.
         """
@@ -238,39 +232,28 @@ class ResultCache:
             return
         self._memo_put(key, kind, payload)
         self.stats.stores += 1
-        if self.directory is None:
-            return
-        entry = {"schema": ENTRY_SCHEMA, "kind": kind, "key": key, "payload": payload}
         try:
-            size = lifecycle.write_entry(self.directory, key, entry)
+            self.backend.store(key, payload, kind)
         except OSError:
             self.stats.errors += 1
-            return
-        if self.manifest is not None:
-            self.manifest.record_store(key, kind, size)
 
     # -------------------------------------------------------------- lifecycle
     def usage(self) -> dict:
         """Current cache state: entries, disk bytes, ages, memo size.
 
-        Disk numbers come from the manifest — no directory scan.
+        Numbers come from the backend (the manifest for filesystem-shaped
+        backends) — no directory scan.
         """
-        usage = {
-            "entries": len(self),
+        usage = self.backend.usage() if self.enabled else {"entries": 0, "disk_bytes": 0}
+        return {
+            "entries": usage.get("entries", 0),
             "memo_entries": len(self._memory),
             "directory": str(self.directory) if self.directory is not None else None,
+            "backend": self.backend.describe(),
+            "disk_bytes": usage.get("disk_bytes", 0),
+            "oldest_age_seconds": usage.get("oldest_age_seconds"),
+            "lru_age_seconds": usage.get("lru_age_seconds"),
         }
-        if self.manifest is not None:
-            manifest_stats = self.manifest.stats()
-            usage["entries"] = manifest_stats["entries"]
-            usage["disk_bytes"] = manifest_stats["bytes"]
-            usage["oldest_age_seconds"] = manifest_stats["oldest_age_seconds"]
-            usage["lru_age_seconds"] = manifest_stats["lru_age_seconds"]
-        else:
-            usage["disk_bytes"] = 0
-            usage["oldest_age_seconds"] = None
-            usage["lru_age_seconds"] = None
-        return usage
 
     def snapshot(self) -> CacheStats:
         """This cache's counters plus current state gauges (see CacheStats)."""
@@ -286,31 +269,28 @@ class ResultCache:
     def gc(
         self, max_bytes: int | None = None, max_age: float | None = None
     ) -> lifecycle.GCResult:
-        """Garbage-collect the disk cache (LRU-first; see ``CacheManifest.gc``).
+        """Garbage-collect the backend (LRU-first; see ``CacheManifest.gc``).
 
         Evicted keys are also dropped from the in-process memo so a bounded
         cache never serves an entry GC decided to retire.  A memory-only or
         disabled cache has nothing to collect and returns an empty result.
         """
-        if self.manifest is None:
+        if not self.persistent:
             return lifecycle.GCResult()
-        result = self.manifest.gc(max_bytes=max_bytes, max_age=max_age)
+        result = self.backend.gc(max_bytes=max_bytes, max_age=max_age)
         for key in result.removed_keys:
             self._memo_drop(key)
         return result
 
     def clear(self) -> int:
-        """Remove every entry (disk and memo); returns disk entries removed."""
+        """Remove every entry (backend and memo); returns backend entries removed."""
         removed = 0
-        if self.manifest is not None:
-            removed = self.manifest.clear()
+        if self.enabled:
+            removed = self.backend.clear()
         self._memory.clear()
         return removed
 
     def __len__(self) -> int:
         if not self.enabled:
             return 0
-        if self.directory is None:
-            return len(self._memory)
-        assert self.manifest is not None
-        return len(self.manifest)
+        return len(self.backend)

@@ -60,10 +60,17 @@ class RunStats:
     traces_built: int = 0
     traces_reused: int = 0
 
-    def merge(self, other: "RunStats | dict") -> None:
+    def merge(self, other: "RunStats | dict", distinct_caches: bool = False) -> None:
+        """Accumulate ``other`` into this object.
+
+        ``distinct_caches=True`` sum-merges the cache *gauges* instead of
+        max-merging them — required when the merged snapshots describe
+        different caches (one per cluster worker) rather than several views
+        of one shared cache (see :meth:`CacheStats.merge`).
+        """
         if isinstance(other, RunStats):
             other = other.as_dict()
-        self.cache.merge(other.get("cache", {}))
+        self.cache.merge(other.get("cache", {}), distinct_caches=distinct_caches)
         self.sweep.merge(other.get("sweep", {}))
         self.traces_built += other.get("traces_built", 0)
         self.traces_reused += other.get("traces_reused", 0)

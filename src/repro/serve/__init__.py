@@ -1,10 +1,12 @@
 """repro.serve — async experiment-serving front-end over ``repro.runtime``.
 
 Many concurrent clients share one warm :class:`RuntimeSession` (result cache +
-trace store): typed requests enter an async queue, identical in-flight
-requests coalesce onto one job by the runtime's content hash, and a bounded
-worker pool executes jobs on threads while per-request counters report what
-each request actually cost.
+trace store): typed requests enter an async priority queue, identical
+in-flight requests coalesce onto one job by the runtime's content hash, and a
+bounded worker pool executes jobs on threads while per-request counters
+report what each request actually cost.  TCP endpoints can demand a shared
+auth token, and ``--worker`` mode turns a serve process into a cluster worker
+(:mod:`repro.cluster`).
 
 Layering::
 
@@ -29,10 +31,12 @@ from repro.serve.protocol import (
     parse_request,
 )
 from repro.serve.queue import Job, RequestQueue, Ticket
-from repro.serve.service import ExperimentService
-from repro.serve.workers import WorkerPool, execute_request
+from repro.serve.service import ConnectionContext, ExperimentService
+from repro.serve.workers import WorkerPool, execute_request, job_session
 
 __all__ = [
+    "ConnectionContext",
+    "job_session",
     "ServeClient",
     "ServeResponse",
     "ExperimentRequest",

@@ -14,8 +14,16 @@ Modes:
   ``cancelled``).  Exits non-zero on any failure; CI runs this on every
   tier-1 platform.
 
+* ``--worker`` — cluster worker mode (``docs/cluster.md``): a TCP service
+  with the registration handshake and internal job ops a
+  ``python -m repro cluster`` coordinator drives, storing through the
+  multi-process-safe shared cache backend.  Requires an auth token and
+  prints a one-line JSON banner (bound host/port/pid) on stdout.
+
 ``--workers`` bounds concurrent job execution; ``--cache-dir``/``--no-cache``
-select the shared result cache exactly like the batch CLI.  Long-lived
+select the shared result cache exactly like the batch CLI.  ``--auth-token``
+(or ``REPRO_SERVE_TOKEN``) demands a constant-time-compared shared secret
+from every TCP connection before anything reaches the queue.  Long-lived
 servers can enable automatic background cache GC with ``--gc-interval`` plus
 ``--gc-max-bytes`` and/or ``--gc-max-age`` (same size/age spellings as the
 batch CLI's ``--cache-gc``).  See ``docs/serving.md`` for the protocol and
@@ -26,6 +34,8 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import json
+import os
 import sys
 
 from repro.experiments.base import parse_age, parse_size
@@ -149,6 +159,48 @@ async def _selftest(workers: int) -> int:
                 await client.close()
 
 
+async def _run_worker(args) -> int:
+    """Cluster worker mode: a WorkerService plus a machine-readable banner.
+
+    The coordinator spawns this subprocess, reads one JSON line from stdout
+    to learn the bound endpoint, then connects, authenticates and registers
+    (see ``docs/cluster.md``).
+    """
+    from repro.cluster.worker import WorkerService, worker_session
+
+    cache_dir = args.cache_dir or default_cache_dir()
+    try:
+        service = WorkerService(
+            session=worker_session(cache_dir),
+            workers=args.workers,
+            auth_token=args.auth_token,
+            gc_interval=args.gc_interval,
+            gc_max_bytes=args.gc_max_bytes,
+            gc_max_age=args.gc_max_age,
+        )
+    except ValueError as error:
+        print(f"repro serve: {error}", file=sys.stderr)
+        return 2
+    async with service:
+        server = await service.serve_tcp(*args.worker_endpoint)
+        bound = server.sockets[0].getsockname()
+        print(
+            json.dumps(
+                {
+                    "event": "worker-listening",
+                    "host": bound[0],
+                    "port": bound[1],
+                    "pid": os.getpid(),
+                    "cache_dir": str(cache_dir),
+                }
+            ),
+            flush=True,
+        )
+        async with server:
+            await service.wait_shutdown()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro serve",
@@ -170,6 +222,28 @@ def main(argv: list[str] | None = None) -> int:
         "--selftest",
         action="store_true",
         help="run round-trip, streamed and mid-run-cancellation checks and exit",
+    )
+    mode.add_argument(
+        "--worker",
+        action="store_true",
+        help="cluster worker mode: TCP service with a registration handshake "
+        "and a multi-process-safe shared cache (requires an auth token; "
+        "prints a JSON banner with the bound endpoint on stdout)",
+    )
+    parser.add_argument(
+        "--worker-endpoint",
+        type=_parse_endpoint,
+        default=("127.0.0.1", 0),
+        metavar="HOST:PORT",
+        help="endpoint of --worker mode (default: 127.0.0.1:0, ephemeral)",
+    )
+    parser.add_argument(
+        "--auth-token",
+        default=None,
+        metavar="TOKEN",
+        help="require TCP clients to authenticate with this shared secret "
+        "before anything reaches the queue (default: $REPRO_SERVE_TOKEN; "
+        "mandatory in --worker mode)",
     )
     parser.add_argument(
         "--workers",
@@ -219,8 +293,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.gc_interval is not None and args.no_cache:
         parser.error("background GC requires a disk cache (drop --no-cache)")
 
+    if args.auth_token is None:
+        args.auth_token = os.environ.get("REPRO_SERVE_TOKEN") or None
+
     if args.selftest:
         return asyncio.run(_selftest(args.workers))
+
+    if args.worker:
+        if args.no_cache:
+            parser.error("--worker needs the shared cache (drop --no-cache)")
+        return asyncio.run(_run_worker(args))
 
     from repro.serve.service import ExperimentService
 
@@ -232,6 +314,7 @@ def main(argv: list[str] | None = None) -> int:
         gc_interval=args.gc_interval,
         gc_max_bytes=args.gc_max_bytes,
         gc_max_age=args.gc_max_age,
+        auth_token=args.auth_token,
     )
 
     async def run_tcp(host: str, port: int) -> None:

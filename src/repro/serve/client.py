@@ -66,12 +66,25 @@ class ServeClient:
         self._writer = writer
         self._counter = itertools.count(1)
         self._routes: dict[str, asyncio.Queue[dict]] = {}
+        #: Set once the connection is gone (EOF, reset, reader error).  The
+        #: cluster coordinator watches this to detect worker death.
+        self.closed = asyncio.Event()
         self._reader_task = asyncio.create_task(self._read_loop(), name="repro-serve-client")
 
     @classmethod
-    async def connect(cls, host: str = "127.0.0.1", port: int = 0) -> "ServeClient":
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = 0, auth_token: str | None = None
+    ) -> "ServeClient":
+        """Open a connection, authenticating first when ``auth_token`` is given."""
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        client = cls(reader, writer)
+        if auth_token is not None:
+            try:
+                await client.auth(auth_token)
+            except BaseException:
+                await client.close()
+                raise
+        return client
 
     async def _read_loop(self) -> None:
         try:
@@ -89,6 +102,7 @@ class ServeClient:
         finally:
             # Connection gone (EOF, reset, or reader error): unblock every
             # waiter with a synthetic failure instead of hanging forever.
+            self.closed.set()
             for route in self._routes.values():
                 route.put_nowait({"event": "failed", "error": "connection closed"})
 
@@ -106,6 +120,14 @@ class ServeClient:
         payload = await route.get()
         self._routes.pop(client_id, None)
         return payload
+
+    async def job(self, message: dict, on_event=None) -> ServeResponse:
+        """Send any job-op message and await its terminal event.
+
+        The typed helpers below build on this; the cluster coordinator uses
+        it directly for internal worker ops.
+        """
+        return await self._job(message, on_event=on_event)
 
     async def _job(self, message: dict, on_event=None) -> ServeResponse:
         """Send a job op and await its terminal event."""
@@ -184,18 +206,28 @@ class ServeClient:
         seed: int = 0,
         overrides: dict | None = None,
         on_event=None,
+        priority: int = 0,
     ) -> ServeResponse:
         message = {"op": "run_experiment", "experiment": experiment, "preset": preset, "seed": seed}
         if overrides:
             message["overrides"] = overrides
+        if priority:
+            message["priority"] = priority
         return await self._job(message, on_event=on_event)
 
     async def run_all(
-        self, preset: str = "fast", seed: int = 0, overrides: dict | None = None, on_event=None
+        self,
+        preset: str = "fast",
+        seed: int = 0,
+        overrides: dict | None = None,
+        on_event=None,
+        priority: int = 0,
     ) -> ServeResponse:
         message = {"op": "run_all", "preset": preset, "seed": seed}
         if overrides:
             message["overrides"] = overrides
+        if priority:
+            message["priority"] = priority
         return await self._job(message, on_event=on_event)
 
     async def simulate(
@@ -207,6 +239,7 @@ class ServeClient:
         seed: int = 0,
         overrides: dict | None = None,
         on_event=None,
+        priority: int = 0,
     ) -> ServeResponse:
         message = {
             "op": "simulate",
@@ -218,9 +251,17 @@ class ServeClient:
         }
         if overrides:
             message["overrides"] = overrides
+        if priority:
+            message["priority"] = priority
         return await self._job(message, on_event=on_event)
 
     # -------------------------------------------------------------- control ops
+    async def auth(self, token: str) -> None:
+        """Authenticate this connection; raises ``PermissionError`` on rejection."""
+        payload = await self._roundtrip({"op": "auth", "token": token})
+        if payload.get("event") != "authenticated":
+            raise PermissionError(payload.get("error", "authentication failed"))
+
     async def ping(self) -> bool:
         return (await self._roundtrip({"op": "ping"})).get("event") == "pong"
 

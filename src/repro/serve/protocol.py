@@ -9,7 +9,11 @@ shot events for control ops).  A job op may set ``"stream": true`` to
 additionally receive incremental ``progress`` events (per-layer/per-network/
 per-experiment reports under a ``"progress"`` key) while the job runs; the
 flag affects delivery only and never enters a request's deduplication key,
-so streamed and unstreamed twins still coalesce.
+so streamed and unstreamed twins still coalesce.  A job op may also carry a
+``"priority"`` integer (default 0): queued jobs execute highest-priority
+first, FIFO within a level, and like ``stream`` the field never enters the
+deduplication key — a coalescing ticket with a higher priority simply raises
+the pending job's priority.
 
 The job-submitting ops parse into frozen dataclasses — the *typed* form the
 queue, the workers and the in-process API all share — and each request type
@@ -44,8 +48,10 @@ __all__ = [
 JOB_OPS = ("run_experiment", "run_all", "simulate")
 
 #: Ops answered immediately by the service (``gc`` garbage-collects the
-#: shared disk cache: optional ``max_bytes``/``max_age`` bounds, LRU-first).
-CONTROL_OPS = ("status", "cancel", "stats", "gc", "list", "ping", "shutdown")
+#: shared disk cache: optional ``max_bytes``/``max_age`` bounds, LRU-first;
+#: ``auth`` presents the shared secret of a token-protected server — on such
+#: a server it must be the connection's first message).
+CONTROL_OPS = ("status", "cancel", "stats", "gc", "list", "ping", "auth", "shutdown")
 
 #: Preset fields a request may override.
 _OVERRIDE_FIELDS = ("networks", "samples_per_layer", "max_pallets")

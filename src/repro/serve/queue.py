@@ -5,7 +5,9 @@ A **ticket** is one client request.  Submitting a request whose hash matches
 an in-flight (queued or running) job attaches a new ticket to that job instead
 of enqueueing a second execution — that is the request coalescing the serving
 layer promises: N concurrent identical requests cost one simulation pass, and
-every ticket receives the same result and stats.
+every ticket receives the same result and stats.  Queued jobs are ordered by
+**priority** (highest first, FIFO within a level); a coalesced ticket carrying
+a higher priority raises the pending job's priority.
 
 Lifecycle: ``queued → running → done | failed``, with ``cancelled`` reachable
 from ``queued`` *and* from ``running``: every job carries a
@@ -24,6 +26,7 @@ from __future__ import annotations
 
 import asyncio
 import collections
+import heapq
 import itertools
 import time
 from typing import Callable
@@ -51,9 +54,10 @@ class Job:
     wires its progress callback back to the queue's live tickets.
     """
 
-    def __init__(self, key: str, request: ServeRequest) -> None:
+    def __init__(self, key: str, request: ServeRequest, priority: int = 0) -> None:
         self.key = key
         self.request = request
+        self.priority = priority
         self.state = "queued"
         self.result: dict | None = None
         self.error: str | None = None
@@ -108,10 +112,22 @@ class Ticket:
 
 
 class RequestQueue:
-    """FIFO of jobs with content-hash deduplication of in-flight requests."""
+    """Priority queue of jobs with content-hash deduplication of in-flight requests.
+
+    Jobs pop highest-priority-first, FIFO within a priority level (priority 0
+    is the default, so a priority-free deployment behaves exactly like the
+    old FIFO).  Coalescing and priorities compose: a coalesced ticket can
+    raise — never lower — the priority of a still-queued job.
+    """
 
     def __init__(self) -> None:
-        self._pending: asyncio.Queue[Job | None] = asyncio.Queue()
+        #: Pending jobs as a max-priority heap of ``(-priority, seq, job)``.
+        #: Raising a queued job's priority pushes a *second* entry instead of
+        #: re-heapifying; stale entries (priority no longer current, or job no
+        #: longer queued) are skipped lazily at pop time.
+        self._pending: list[tuple[int, int, Job]] = []
+        self._pending_seq = itertools.count()
+        self._pending_wakeup = asyncio.Event()
         self._inflight: dict[str, Job] = {}
         #: Cancelled-while-running jobs still occupying a worker until their
         #: next cooperative checkpoint (detached from ``_inflight`` so fresh
@@ -135,13 +151,24 @@ class RequestQueue:
         self.interrupted = 0
 
     # ------------------------------------------------------------------ submit
+    def _push_pending(self, job: Job) -> None:
+        """Heap-insert ``job`` at its current priority and wake a worker."""
+        heapq.heappush(self._pending, (-job.priority, next(self._pending_seq), job))
+        self._pending_wakeup.set()
+
     def submit(
         self,
         request: ServeRequest,
         on_event: Callable[[Ticket, str], None] | None = None,
         on_progress: Callable[[Ticket, dict], None] | None = None,
+        priority: int = 0,
     ) -> Ticket:
         """Enqueue ``request`` (or coalesce it onto an identical in-flight job).
+
+        ``priority`` orders *queued* jobs: workers pop the highest priority
+        first, FIFO within a priority level.  Coalescing preserves the
+        strongest demand — a ticket attaching to a queued job with a higher
+        priority raises that job's priority (never lowers it).
 
         Once :meth:`stop_workers` has been called the backlog is already
         abandoned and no worker will ever pull again, so a late submission
@@ -150,7 +177,7 @@ class RequestQueue:
         """
         key = request.key()
         if self.stopping:
-            job = Job(key, request)
+            job = Job(key, request, priority)
             ticket = Ticket(f"t{next(self._counter)}", job, False, on_event, on_progress)
             job.tickets.append(ticket)
             self._tickets[ticket.ticket_id] = ticket
@@ -160,9 +187,14 @@ class RequestQueue:
         job = self._inflight.get(key)
         coalesced = job is not None
         if job is None:
-            job = Job(key, request)
+            job = Job(key, request, priority)
             self._inflight[key] = job
-            self._pending.put_nowait(job)
+            self._push_pending(job)
+        elif priority > job.priority and job.state == "queued":
+            # A coalesced ticket may raise a pending job's priority: push a
+            # fresh heap entry; the old (lower) one is skipped at pop time.
+            job.priority = priority
+            self._push_pending(job)
         ticket = Ticket(f"t{next(self._counter)}", job, coalesced, on_event, on_progress)
         job.tickets.append(ticket)
         self._tickets[ticket.ticket_id] = ticket
@@ -174,26 +206,25 @@ class RequestQueue:
 
     # ------------------------------------------------------------------ workers
     async def next_job(self) -> Job | None:
-        """The next executable job (skips fully-cancelled ones); ``None`` stops.
+        """The next executable job, highest priority first; ``None`` stops.
 
-        Once :meth:`stop_workers` has been called, returns ``None`` without
+        Within one priority level jobs pop FIFO.  Fully-cancelled jobs and
+        stale heap entries (a job whose priority was raised after it was
+        pushed, or that already started) are skipped.  Once
+        :meth:`stop_workers` has been called, returns ``None`` without
         draining the backlog — shutdown abandons queued jobs rather than
         executing them.
         """
         while True:
             if self.stopping:
                 return None
-            job = await self._pending.get()
-            if job is None:
-                return None
-            if self.stopping:
-                # Dequeued during shutdown: fail it so its waiters unblock.
-                if job.state == "queued":
-                    self.finish(job, error="service stopped before this job ran")
-                return None
-            if job.state == "cancelled":
-                continue
-            return job
+            while self._pending:
+                neg_priority, _, job = heapq.heappop(self._pending)
+                if job.state != "queued" or -neg_priority != job.priority:
+                    continue  # cancelled, already started, or a stale entry
+                return job
+            self._pending_wakeup.clear()
+            await self._pending_wakeup.wait()
 
     def mark_running(self, job: Job) -> None:
         job.state = "running"
@@ -256,10 +287,9 @@ class RequestQueue:
             self._retire(ticket)
 
     def stop_workers(self, count: int) -> None:
-        """Stop dispatching: wake ``count`` workers and abandon the backlog."""
+        """Stop dispatching: wake every waiting worker and abandon the backlog."""
         self.stopping = True
-        for _ in range(count):
-            self._pending.put_nowait(None)
+        self._pending_wakeup.set()
 
     def abandon_pending(self) -> int:
         """Fail every still-queued job so its waiters unblock; returns count.
@@ -268,9 +298,9 @@ class RequestQueue:
         completed with an error instead of being left to hang their tickets.
         """
         abandoned = 0
-        while not self._pending.empty():
-            job = self._pending.get_nowait()
-            if job is None or job.state != "queued":
+        while self._pending:
+            _, _, job = heapq.heappop(self._pending)
+            if job.state != "queued":
                 continue
             self.finish(job, error="service stopped before this job ran")
             abandoned += 1

@@ -24,7 +24,9 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import hmac
 import sys
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.runtime import ResultCache, RunStats, RuntimeSession
@@ -40,11 +42,35 @@ from repro.serve.protocol import (
 from repro.serve.queue import RequestQueue, Ticket
 from repro.serve.workers import WorkerPool
 
-__all__ = ["ExperimentService"]
+__all__ = ["ConnectionContext", "ExperimentService"]
 
 #: Upper bound on flushing a closing connection's outbox (seconds).  A peer
 #: that disconnected or stopped reading cannot hold the close path hostage.
 CLOSE_DRAIN_TIMEOUT = 5.0
+
+
+@dataclass
+class ConnectionContext:
+    """Per-connection state threaded through :meth:`ExperimentService.handle_message`.
+
+    ``tickets`` collects the live jobs the connection submitted (disowned on
+    disconnect).  ``authenticated`` starts ``False`` on TCP connections of a
+    token-protected service and flips after a valid ``auth`` op; in-process
+    and stdio callers are local operators and start authenticated.
+    ``registered`` marks a worker-mode connection whose peer completed the
+    ``register`` handshake (see ``docs/cluster.md``) and is therefore allowed
+    to submit internal cluster job ops.
+    """
+
+    tickets: list[Ticket] = field(default_factory=list)
+    authenticated: bool = True
+    registered: bool = False
+    peer: str = "local"
+
+    @classmethod
+    def local(cls) -> "ConnectionContext":
+        """A fully-trusted context for in-process and stdio callers."""
+        return cls(authenticated=True, registered=True)
 
 
 class ExperimentService:
@@ -69,7 +95,19 @@ class ExperimentService:
     gc_max_bytes / gc_max_age:
         Bounds enforced by each background GC pass (LRU-first), exactly like
         the ``gc`` wire op and the ``--cache-gc`` CLI verb.
+    auth_token:
+        Optional shared secret.  When set, TCP connections must authenticate
+        (``{"op": "auth", "token": ...}``, constant-time compare) before any
+        other message reaches the queue; unauthenticated or wrong-token
+        connections are closed.  Stdio and in-process callers are the local
+        operator and are never challenged.
+    executor:
+        Override for how jobs execute (see :class:`~repro.serve.workers.WorkerPool`);
+        the cluster coordinator substitutes its sharding dispatcher here.
     """
+
+    #: Wire ops this service parses into queue jobs (subclasses may extend).
+    job_ops: tuple[str, ...] = JOB_OPS
 
     def __init__(
         self,
@@ -80,6 +118,8 @@ class ExperimentService:
         gc_interval: float | None = None,
         gc_max_bytes: int | None = None,
         gc_max_age: float | None = None,
+        auth_token: str | None = None,
+        executor=None,
     ) -> None:
         if session is None:
             if no_cache:
@@ -87,9 +127,10 @@ class ExperimentService:
             else:
                 session = RuntimeSession(cache=ResultCache(directory=cache_dir))
         self.session = session
+        self.auth_token = auth_token
         self.queue = RequestQueue()
         self.queue.on_finish = self._on_job_finish
-        self.pool = WorkerPool(self.queue, session, workers=workers)
+        self.pool = WorkerPool(self.queue, session, workers=workers, executor=executor)
         self.totals = RunStats()
         self._started = False
         self._shutdown = asyncio.Event()
@@ -176,12 +217,17 @@ class ExperimentService:
         await self._shutdown.wait()
 
     # ----------------------------------------------------------------- requests
-    async def submit(self, request: ServeRequest, on_event=None, on_progress=None) -> Ticket:
+    async def submit(
+        self, request: ServeRequest, on_event=None, on_progress=None, priority: int = 0
+    ) -> Ticket:
         """Enqueue a typed request; returns its ticket immediately.
 
         ``on_progress(ticket, payload)`` — when given — receives every
         structured progress event the job's execution emits (per-layer,
         per-network, per-experiment), in order, before the terminal event.
+        ``priority`` orders queued jobs (highest first, FIFO within a level);
+        coalescing onto a queued job raises its priority when this one is
+        higher.
 
         After :meth:`stop` the queue is stopping: the request is not enqueued
         (and the worker pool is *not* restarted) — the returned ticket fails
@@ -189,7 +235,9 @@ class ExperimentService:
         """
         if not self._started and not self.queue.stopping:
             await self.start()
-        return self.queue.submit(request, on_event=on_event, on_progress=on_progress)
+        return self.queue.submit(
+            request, on_event=on_event, on_progress=on_progress, priority=priority
+        )
 
     async def wait(self, ticket: Ticket) -> dict:
         """Wait for a ticket's job and return its terminal response payload."""
@@ -310,16 +358,41 @@ class ExperimentService:
         }
 
     # ----------------------------------------------------------------- protocol
-    async def handle_message(self, message: dict, send, tickets: list | None = None) -> bool:
+    def parse_job(self, message: dict) -> ServeRequest:
+        """Parse a job-submitting message into a typed request.
+
+        Subclasses extending :attr:`job_ops` (the cluster worker mode)
+        override this to parse their additional ops.
+        """
+        return parse_request(message)
+
+    def check_auth(self, message: dict) -> bool:
+        """Whether an ``auth`` op's token matches (constant-time compare)."""
+        token = message.get("token")
+        if self.auth_token is None:
+            return True
+        if not isinstance(token, str):
+            return False
+        return hmac.compare_digest(token.encode("utf-8"), self.auth_token.encode("utf-8"))
+
+    async def handle_message(
+        self, message: dict, send, tickets: list | None = None,
+        context: ConnectionContext | None = None,
+    ) -> bool:
         """Dispatch one decoded protocol message; ``False`` requests shutdown.
 
         ``send`` is a callable taking one response dict; job lifecycle events
         are delivered through it as they happen.  A job op with a truthy
         ``stream`` field additionally receives one ``progress`` event per
-        structured progress report, before the terminal event.  ``tickets``
-        (when given) collects the Ticket of every job this message submits so
-        a connection front-end can disown them on disconnect.
+        structured progress report, before the terminal event.  ``context``
+        carries per-connection state (auth, registration, submitted tickets);
+        in-process callers may omit it (fully trusted) or pass the legacy
+        ``tickets`` list to collect live jobs for disconnect disowning.
         """
+        if context is None:
+            context = ConnectionContext.local()
+            if tickets is not None:
+                context.tickets = tickets
         client_id = message.get("id")
 
         def reply(payload: dict) -> None:
@@ -328,7 +401,25 @@ class ExperimentService:
             send(payload)
 
         op = message.get("op")
-        if op == "ping":
+        if not context.authenticated:
+            # Nothing — not even ping — reaches the queue before auth.
+            if op != "auth":
+                reply({"event": "error", "error": "authentication required"})
+                return False
+            if not self.check_auth(message):
+                reply({"event": "error", "error": "invalid auth token"})
+                return False
+            context.authenticated = True
+            reply({"event": "authenticated"})
+            return True
+        if op == "auth":
+            # Authenticating an already-trusted connection (or a service
+            # without a token) is a harmless no-op handshake.
+            if not self.check_auth(message):
+                reply({"event": "error", "error": "invalid auth token"})
+                return False
+            reply({"event": "authenticated"})
+        elif op == "ping":
             reply({"event": "pong"})
         elif op == "list":
             reply(self.list_experiments())
@@ -353,9 +444,13 @@ class ExperimentService:
             reply({"event": "shutdown"})
             self._shutdown.set()  # wakes wait_shutdown() (TCP front-ends)
             return False
-        elif op in JOB_OPS:
+        elif op in self.job_ops:
+            priority = message.get("priority", 0)
+            if not isinstance(priority, int) or isinstance(priority, bool):
+                reply({"event": "error", "error": "priority must be an integer"})
+                return True
             try:
-                request = parse_request(message)
+                request = self.parse_job(message)
             except ProtocolError as error:
                 reply({"event": "error", "error": str(error)})
                 return True
@@ -384,18 +479,19 @@ class ExperimentService:
                         }
                     )
 
-            ticket = await self.submit(request, on_event=on_event, on_progress=on_progress)
-            if tickets is not None:
-                # Drop tickets that already reached a terminal state so a
-                # long-lived connection doesn't pin every result payload it
-                # ever received (only live jobs need disowning on disconnect).
-                tickets[:] = [t for t in tickets if not t.retired]
-                tickets.append(ticket)
+            ticket = await self.submit(
+                request, on_event=on_event, on_progress=on_progress, priority=priority
+            )
+            # Drop tickets that already reached a terminal state so a
+            # long-lived connection doesn't pin every result payload it
+            # ever received (only live jobs need disowning on disconnect).
+            context.tickets[:] = [t for t in context.tickets if not t.retired]
+            context.tickets.append(ticket)
         else:
             reply(
                 {
                     "event": "error",
-                    "error": f"unknown op {op!r}; ops: {', '.join(JOB_OPS + CONTROL_OPS)}",
+                    "error": f"unknown op {op!r}; ops: {', '.join(self.job_ops + CONTROL_OPS)}",
                 }
             )
         return True
@@ -421,9 +517,19 @@ class ExperimentService:
     async def handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        """Serve one TCP client: JSON lines in, event lines out."""
+        """Serve one TCP client: JSON lines in, event lines out.
+
+        On a token-protected service the connection starts unauthenticated:
+        the first message must be a valid ``auth`` op, and anything else
+        closes the connection before it can touch the queue.
+        """
         outbox: asyncio.Queue[dict | None] = asyncio.Queue()
-        tickets: list[Ticket] = []
+        peername = writer.get_extra_info("peername")
+        context = ConnectionContext(
+            authenticated=self.auth_token is None,
+            peer=str(peername) if peername else "tcp",
+        )
+        tickets = context.tickets
 
         async def drain_outbox() -> None:
             while True:
@@ -449,7 +555,9 @@ class ExperimentService:
                 except ProtocolError as error:
                     outbox.put_nowait({"event": "error", "error": str(error)})
                     continue
-                if not await self.handle_message(message, outbox.put_nowait, tickets):
+                if not await self.handle_message(
+                    message, outbox.put_nowait, context=context
+                ):
                     break
         except asyncio.CancelledError:
             pass  # server shutting down mid-connection; fall through to cleanup
@@ -476,6 +584,8 @@ class ExperimentService:
         stdout = stdout if stdout is not None else sys.stdout
         await self.start()
         loop = asyncio.get_running_loop()
+        # Stdio is the local operator: trusted, never challenged for a token.
+        context = ConnectionContext.local()
 
         def send(payload: dict) -> None:
             stdout.write(encode(payload).decode("utf-8"))
@@ -492,6 +602,6 @@ class ExperimentService:
             except ProtocolError as error:
                 send({"event": "error", "error": str(error)})
                 continue
-            if not await self.handle_message(message, send):
+            if not await self.handle_message(message, send, context=context):
                 break
         await self.stop()

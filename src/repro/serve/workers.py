@@ -31,7 +31,7 @@ from repro.serve.protocol import (
 )
 from repro.serve.queue import RequestQueue
 
-__all__ = ["WorkerPool", "execute_request"]
+__all__ = ["WorkerPool", "execute_request", "job_session"]
 
 
 class _CacheView:
@@ -102,15 +102,23 @@ class _TraceView:
         return len(self._inner)
 
 
-def _job_session(
+def job_session(
     shared: RuntimeSession, progress: ProgressToken | None = None
 ) -> RuntimeSession:
-    """A stats view of ``shared``: same cache and traces, private counters."""
+    """A stats view of ``shared``: same cache and traces, private counters.
+
+    Public because every executor variant (the default one below, the cluster
+    worker's internal-op executor) builds its per-job session this way.
+    """
     return RuntimeSession(
         cache=_CacheView(shared.cache),
         traces=_TraceView(shared.traces),
         progress=progress,
     )
+
+
+#: Backward-compatible alias of :func:`job_session`.
+_job_session = job_session
 
 
 def execute_request(
@@ -135,7 +143,7 @@ def execute_request(
 
     if progress is not None:
         progress.checkpoint()
-    view = _job_session(shared, progress)
+    view = job_session(shared, progress)
     with use_session(view):
         if isinstance(request, ExperimentRequest):
             result = run_experiment(
@@ -175,14 +183,31 @@ def execute_request(
 
 
 class WorkerPool:
-    """``workers`` asyncio tasks executing queue jobs on threads."""
+    """``workers`` asyncio tasks executing queue jobs.
 
-    def __init__(self, queue: RequestQueue, session: RuntimeSession, workers: int = 2) -> None:
+    ``executor`` decides *how* a job runs and defaults to
+    :func:`execute_request` on a thread (``asyncio.to_thread``), keeping the
+    event loop responsive while numpy works.  An ``async def`` executor is
+    awaited on the loop instead — that is how the cluster coordinator
+    substitutes its network-bound sharding dispatcher (``docs/cluster.md``)
+    without changing the queue, ticketing, or cancellation machinery.  Either
+    way the signature is ``executor(request, session, token) -> (payload,
+    stats_dict)`` and a cancelled execution raises :class:`SweepCancelled`.
+    """
+
+    def __init__(
+        self,
+        queue: RequestQueue,
+        session: RuntimeSession,
+        workers: int = 2,
+        executor=None,
+    ) -> None:
         if workers < 1:
             raise ValueError("worker pool needs at least one worker")
         self.queue = queue
         self.session = session
         self.workers = workers
+        self.executor = executor if executor is not None else execute_request
         self._tasks: list[asyncio.Task] = []
 
     async def start(self) -> None:
@@ -222,9 +247,14 @@ class WorkerPool:
             )
             self.queue.mark_running(job)
             try:
-                payload, stats = await asyncio.to_thread(
-                    execute_request, job.request, self.session, job.token
-                )
+                if asyncio.iscoroutinefunction(self.executor):
+                    payload, stats = await self.executor(
+                        job.request, self.session, job.token
+                    )
+                else:
+                    payload, stats = await asyncio.to_thread(
+                        self.executor, job.request, self.session, job.token
+                    )
             except asyncio.CancelledError:
                 self.queue.finish(job, error="worker cancelled")
                 raise

@@ -22,6 +22,7 @@ REQUIRED = (
     "docs/architecture.md",
     "docs/runtime.md",
     "docs/serving.md",
+    "docs/cluster.md",
 )
 
 
@@ -79,13 +80,22 @@ def test_intra_repo_markdown_links_resolve():
 
 def test_readme_links_the_docs_site():
     readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
-    for page in ("docs/architecture.md", "docs/runtime.md", "docs/serving.md"):
+    for page in (
+        "docs/architecture.md",
+        "docs/runtime.md",
+        "docs/serving.md",
+        "docs/cluster.md",
+    ):
         assert page in readme, f"README does not link {page}"
 
 
 def test_runtime_and_serve_modules_name_their_docs():
-    """Every runtime/serve module docstring points readers at the docs site."""
-    for package, doc in (("runtime", "docs/runtime.md"), ("serve", "docs/serving.md")):
+    """Every runtime/serve/cluster module docstring points readers at the docs site."""
+    for package, doc in (
+        ("runtime", "docs/runtime.md"),
+        ("serve", "docs/serving.md"),
+        ("cluster", "docs/cluster.md"),
+    ):
         for source in sorted((REPO_ROOT / "src" / "repro" / package).glob("*.py")):
             head = source.read_text(encoding="utf-8")
             docstring = head.split('"""')[1] if '"""' in head else ""

@@ -1,0 +1,256 @@
+"""Conformance suite for every :class:`CacheBackend` implementation.
+
+One parametrized battery runs against all backends, pinning the interface
+contract ``ResultCache`` (and therefore every layer above it) relies on:
+store/load/probe semantics, usage accounting, clear, corruption handling,
+persistence across instances, and multi-process-style sharing for the
+backends that claim it.  Backend-specific behaviour (GC, manifest sync) gets
+targeted classes below the shared battery.
+"""
+
+import gzip
+import json
+
+import pytest
+
+from repro.runtime import lifecycle
+from repro.runtime.backends import (
+    CorruptEntry,
+    FilesystemBackend,
+    InMemoryBackend,
+    SharedDirectoryBackend,
+)
+from repro.runtime.cache import CacheStats, ResultCache
+
+BACKENDS = ("memory", "filesystem", "shared")
+
+
+@pytest.fixture
+def make_backend(tmp_path):
+    """Factory building a fresh backend of the requested flavour.
+
+    Repeated calls with the same flavour return backends over the *same*
+    storage (a second filesystem backend sees the first one's entries), which
+    is what the persistence and sharing tests need.
+    """
+
+    def build(flavour: str):
+        if flavour == "memory":
+            return InMemoryBackend()
+        if flavour == "filesystem":
+            return FilesystemBackend(tmp_path / "cache")
+        if flavour == "shared":
+            return SharedDirectoryBackend(tmp_path / "cache", sync_interval=0.0)
+        raise AssertionError(flavour)
+
+    return build
+
+
+@pytest.mark.parametrize("flavour", BACKENDS)
+class TestBackendConformance:
+    def test_store_load_round_trip(self, make_backend, flavour):
+        backend = make_backend(flavour)
+        payload = {"cycles": [1.5, 2.0], "name": "alexnet"}
+        backend.store("k1", payload, "network_result")
+        assert backend.load("k1", "network_result") == payload
+        assert backend.load("absent", "network_result") is None
+
+    def test_kind_namespaces_do_not_alias(self, make_backend, flavour):
+        backend = make_backend(flavour)
+        backend.store("k1", {"a": 1}, "network_result")
+        # A lookup under the wrong kind must never return the payload —
+        # returning None or raising CorruptEntry are both conforming.
+        try:
+            assert backend.load("k1", "statistics") is None
+        except CorruptEntry:
+            pass
+
+    def test_probe_does_not_lie(self, make_backend, flavour):
+        backend = make_backend(flavour)
+        assert not backend.probe("k1", "network_result")
+        backend.store("k1", {"a": 1}, "network_result")
+        assert backend.probe("k1", "network_result")
+
+    def test_store_overwrites(self, make_backend, flavour):
+        backend = make_backend(flavour)
+        backend.store("k1", {"v": 1}, "network_result")
+        backend.store("k1", {"v": 2}, "network_result")
+        assert backend.load("k1", "network_result") == {"v": 2}
+        assert len(backend) == 1
+
+    def test_len_and_usage(self, make_backend, flavour):
+        backend = make_backend(flavour)
+        assert len(backend) == 0
+        backend.store("k1", {"a": 1}, "network_result")
+        backend.store("k2", {"b": 2}, "statistics")
+        assert len(backend) == 2
+        usage = backend.usage()
+        assert usage["entries"] == 2
+        assert "disk_bytes" in usage
+        if backend.persistent:
+            assert usage["disk_bytes"] > 0
+
+    def test_clear(self, make_backend, flavour):
+        backend = make_backend(flavour)
+        backend.store("k1", {"a": 1}, "network_result")
+        backend.store("k2", {"b": 2}, "network_result")
+        assert backend.clear() == 2
+        assert len(backend) == 0
+        assert backend.load("k1", "network_result") is None
+
+    def test_describe_is_informative(self, make_backend, flavour):
+        backend = make_backend(flavour)
+        assert isinstance(backend.describe(), str) and backend.describe()
+
+    def test_persistence_across_instances(self, make_backend, flavour):
+        backend = make_backend(flavour)
+        backend.store("k1", {"a": 1}, "network_result")
+        again = make_backend(flavour)
+        if backend.persistent:
+            assert again.load("k1", "network_result") == {"a": 1}
+        else:
+            assert again.load("k1", "network_result") is None
+
+    def test_result_cache_over_backend(self, make_backend, flavour):
+        """ResultCache policy (stats, memo) works over every backend."""
+        cache = ResultCache(backend=make_backend(flavour))
+        assert cache.get("k1") is None
+        cache.put("k1", {"a": 1})
+        assert cache.get("k1") == {"a": 1}
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+        assert cache.contains("k1")
+        assert len(cache) == 1
+        snapshot = cache.snapshot()
+        assert snapshot.hits == 1
+
+    def test_result_cache_memo_eviction_falls_back_to_backend(
+        self, make_backend, flavour
+    ):
+        cache = ResultCache(backend=make_backend(flavour), memo_entries=2)
+        for index in range(4):
+            cache.put(f"k{index}", {"v": index})
+        assert len(cache._memory) == 2  # memo bounded...
+        assert cache.get("k0") == {"v": 0}  # ...but the backend still serves
+
+
+class TestPersistentBackendCorruption:
+    @pytest.mark.parametrize("flavour", ["filesystem", "shared"])
+    def test_corrupt_entry_raises_and_drops(self, make_backend, flavour):
+        backend = make_backend(flavour)
+        backend.store("k1", {"a": 1}, "network_result")
+        path = lifecycle.entry_path(backend.directory, "k1")
+        path.write_bytes(b"not gzip, not json")
+        with pytest.raises(CorruptEntry):
+            backend.load("k1", "network_result")
+        assert not path.exists()  # dropped, not left to fail forever
+        assert backend.load("k1", "network_result") is None
+
+    @pytest.mark.parametrize("flavour", ["filesystem", "shared"])
+    def test_wrong_schema_is_corruption(self, make_backend, flavour):
+        backend = make_backend(flavour)
+        entry = {"schema": 999, "kind": "network_result", "key": "k1", "payload": {}}
+        path = lifecycle.entry_path(backend.directory, "k1")
+        path.write_bytes(gzip.compress(json.dumps(entry).encode()))
+        with pytest.raises(CorruptEntry):
+            backend.probe("k1", "network_result")
+
+    @pytest.mark.parametrize("flavour", ["filesystem", "shared"])
+    def test_result_cache_counts_corruption_as_miss(self, make_backend, flavour):
+        cache = ResultCache(backend=make_backend(flavour))
+        cache.put("k1", {"a": 1})
+        cache._memory.clear()  # force the next get through the backend
+        lifecycle.entry_path(cache.directory, "k1").write_bytes(b"garbage")
+        assert cache.get("k1") is None
+        assert cache.stats.errors == 1
+
+
+class TestPersistentBackendGC:
+    @pytest.mark.parametrize("flavour", ["filesystem", "shared"])
+    def test_gc_enforces_byte_cap(self, make_backend, flavour):
+        backend = make_backend(flavour)
+        for index in range(3):
+            backend.store(f"k{index}", {"blob": "x" * 200, "i": index}, "network_result")
+        result = backend.gc(max_bytes=1)
+        assert result.removed_entries == 3
+        assert len(backend) == 0
+
+    def test_memory_backend_gc_is_a_noop(self):
+        backend = InMemoryBackend()
+        backend.store("k1", {"a": 1}, "network_result")
+        result = backend.gc(max_bytes=0)
+        assert result.removed_entries == 0
+        assert backend.load("k1", "network_result") == {"a": 1}
+
+
+class TestSharedDirectoryBackend:
+    def test_sibling_stores_are_visible(self, tmp_path):
+        """Two backends on one directory see each other's entries and sizes."""
+        a = SharedDirectoryBackend(tmp_path, sync_interval=0.0)
+        b = SharedDirectoryBackend(tmp_path, sync_interval=0.0)
+        a.store("k1", {"a": 1}, "network_result")
+        # Entry reads always go to the filesystem: immediately coherent.
+        assert b.load("k1", "network_result") == {"a": 1}
+        assert b.probe("k1", "network_result")
+        # Usage re-syncs from the shared manifest.
+        assert b.usage()["entries"] == 1
+        assert len(b) == 1
+
+    def test_sibling_gc_respected(self, tmp_path):
+        a = SharedDirectoryBackend(tmp_path, sync_interval=0.0)
+        b = SharedDirectoryBackend(tmp_path, sync_interval=0.0)
+        a.store("k1", {"a": 1}, "network_result")
+        assert b.usage()["entries"] == 1
+        a.gc(max_bytes=0)
+        assert b.load("k1", "network_result") is None
+        assert b.usage()["entries"] == 0
+
+    def test_sync_is_throttled(self, tmp_path):
+        a = SharedDirectoryBackend(tmp_path, sync_interval=3600.0)
+        b = SharedDirectoryBackend(tmp_path, sync_interval=3600.0)
+        assert b.usage()["entries"] == 0  # sync clock starts now
+        a.store("k1", {"a": 1}, "network_result")
+        # Within the interval the stale view is allowed (and expected)...
+        assert b.usage()["entries"] == 0
+        # ...but direct entry reads stay coherent regardless.
+        assert b.load("k1", "network_result") == {"a": 1}
+
+
+class TestCacheStatsDistinctMerge:
+    def test_shared_cache_merge_takes_max_gauges(self):
+        total = CacheStats(disk_entries=10, disk_bytes=1000, memo_entries=5)
+        total.merge(CacheStats(hits=2, disk_entries=8, disk_bytes=900, memo_entries=7))
+        assert total.hits == 2
+        assert total.disk_entries == 10  # same cache: max, not sum
+        assert total.disk_bytes == 1000
+        assert total.memo_entries == 7
+
+    def test_distinct_cache_merge_sums_gauges(self):
+        total = CacheStats(disk_entries=10, disk_bytes=1000, memo_entries=5)
+        total.merge(
+            CacheStats(
+                hits=2,
+                disk_entries=8,
+                disk_bytes=900,
+                memo_entries=7,
+                oldest_age_seconds=50.0,
+            ),
+            distinct_caches=True,
+        )
+        assert total.disk_entries == 18  # different caches: sum
+        assert total.disk_bytes == 1900
+        assert total.memo_entries == 12
+        # Ages never add up: the fleet's oldest entry is the oldest anywhere.
+        assert total.oldest_age_seconds == 50.0
+
+    def test_run_stats_passthrough(self):
+        from repro.runtime import RunStats
+
+        total = RunStats()
+        total.cache.disk_entries = 4
+        total.merge(
+            {"cache": {"disk_entries": 3, "hits": 1}}, distinct_caches=True
+        )
+        assert total.cache.disk_entries == 7
+        assert total.cache.hits == 1

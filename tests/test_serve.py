@@ -311,6 +311,151 @@ class TestRequestQueue:
         run(scenario())
 
 
+# ------------------------------------------------------------------ priorities
+class TestRequestQueuePriorities:
+    def test_pops_highest_priority_then_fifo(self):
+        async def scenario():
+            queue = RequestQueue()
+            queue.submit(StubRequest("low"))
+            queue.submit(StubRequest("high"), priority=5)
+            queue.submit(StubRequest("mid-a"), priority=1)
+            queue.submit(StubRequest("mid-b"), priority=1)
+            order = [(await queue.next_job()).request.name for _ in range(4)]
+            assert order == ["high", "mid-a", "mid-b", "low"]
+
+        run(scenario())
+
+    def test_default_priority_preserves_fifo(self):
+        async def scenario():
+            queue = RequestQueue()
+            for name in ("a", "b", "c"):
+                queue.submit(StubRequest(name))
+            order = [(await queue.next_job()).request.name for _ in range(3)]
+            assert order == ["a", "b", "c"]
+
+        run(scenario())
+
+    def test_coalesced_ticket_raises_pending_job_priority(self):
+        async def scenario():
+            queue = RequestQueue()
+            first = queue.submit(StubRequest("a"))
+            queue.submit(StubRequest("b"))
+            # A second client wants "a" urgently: same job, higher priority.
+            boost = queue.submit(StubRequest("a"), priority=10)
+            assert boost.coalesced and boost.job is first.job
+            assert first.job.priority == 10
+            order = [(await queue.next_job()).request.name for _ in range(2)]
+            assert order == ["a", "b"]  # "a" jumped the line
+            assert queue.coalesced == 1  # coalescing semantics preserved
+
+        run(scenario())
+
+    def test_coalescing_never_lowers_priority(self):
+        async def scenario():
+            queue = RequestQueue()
+            urgent = queue.submit(StubRequest("a"), priority=10)
+            lazy = queue.submit(StubRequest("a"), priority=1)
+            assert lazy.job is urgent.job
+            assert urgent.job.priority == 10
+
+        run(scenario())
+
+    def test_stale_heap_entries_are_skipped(self):
+        async def scenario():
+            queue = RequestQueue()
+            ticket = queue.submit(StubRequest("a"))
+            queue.submit(StubRequest("a"), priority=3)
+            queue.submit(StubRequest("a"), priority=7)  # two raises → 3 entries
+            job = await queue.next_job()
+            assert job is ticket.job
+            queue.mark_running(job)
+            queue.finish(job, result={}, stats={})
+            # The two stale entries must not resurface the finished job.
+            follow = queue.submit(StubRequest("b"))
+            assert (await queue.next_job()) is follow.job
+
+        run(scenario())
+
+    def test_priority_field_validated_on_the_wire(self, tmp_path):
+        async def scenario():
+            service = ExperimentService(cache_dir=None, workers=1)
+            sent = []
+            await service.handle_message(
+                {"op": "run_experiment", "experiment": "table3", "priority": "high"},
+                sent.append,
+            )
+            assert "priority must be an integer" in sent[-1]["error"]
+            await service.stop()
+
+        run(scenario())
+
+
+# ------------------------------------------------------------------------ auth
+class TestServeAuth:
+    def test_tcp_requires_token_before_anything(self):
+        async def scenario():
+            service = ExperimentService(cache_dir=None, workers=1, auth_token="s3cret")
+            async with service:
+                server = await service.serve_tcp("127.0.0.1", 0)
+                port = server.sockets[0].getsockname()[1]
+                async with server:
+                    # No token: the first non-auth op closes the connection
+                    # before it can reach the queue.
+                    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                    writer.write(encode({"id": "c1", "op": "ping"}))
+                    await writer.drain()
+                    line = await reader.readline()
+                    assert decode(line)["error"] == "authentication required"
+                    assert await reader.readline() == b""  # connection closed
+                    writer.close()
+                    assert service.queue.submitted == 0
+                    # Wrong token: rejected and closed (constant-time compare).
+                    with pytest.raises(PermissionError):
+                        await ServeClient.connect(
+                            "127.0.0.1", port, auth_token="wrong"
+                        )
+                    # Right token: full service.
+                    client = await ServeClient.connect(
+                        "127.0.0.1", port, auth_token="s3cret"
+                    )
+                    try:
+                        assert await client.ping()
+                        response = await client.run_experiment("table3", preset="smoke")
+                        assert response.ok
+                    finally:
+                        await client.close()
+
+        run(scenario())
+
+    def test_tokenless_service_never_challenges(self):
+        async def scenario():
+            service = ExperimentService(cache_dir=None, workers=1)
+            async with service:
+                server = await service.serve_tcp("127.0.0.1", 0)
+                port = server.sockets[0].getsockname()[1]
+                async with server:
+                    client = await ServeClient.connect("127.0.0.1", port)
+                    try:
+                        assert await client.ping()
+                        # Explicit auth against a tokenless server is a no-op.
+                        await client.auth("anything")
+                    finally:
+                        await client.close()
+
+        run(scenario())
+
+    def test_in_process_and_stdio_are_trusted(self):
+        async def scenario():
+            service = ExperimentService(cache_dir=None, workers=1, auth_token="s3cret")
+            sent = []
+            # In-process handle_message without a context is the trusted path.
+            await service.handle_message({"op": "ping"}, sent.append)
+            assert sent[-1]["event"] == "pong"
+            await service.stop()
+
+        run(scenario())
+
+
 # ----------------------------------------------------------------- stats views
 class TestStatsViews:
     def test_cache_view_counts_corruption_errors(self, tmp_path):
