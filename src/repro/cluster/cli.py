@@ -1,0 +1,390 @@
+"""``python -m repro cluster`` — run a sharded multi-worker cluster.
+
+Modes (all share the worker flags; topology details in ``docs/cluster.md``):
+
+* ``--tcp HOST:PORT`` / ``--stdio`` — serve the public protocol from a
+  coordinator backed by ``--workers N`` spawned local worker processes
+  and/or ``--connect HOST:PORT`` pre-started workers.
+* ``--run EXPERIMENT|all`` — one-shot batch: start the cluster, execute the
+  request, print the result summary and the merged cluster ``RunStats``,
+  verify each simulation ran exactly once cluster-wide (merged
+  ``sweep.configs_simulated`` equals the planned unit count), and exit.
+* ``--selftest`` — spawn 2 local workers, shard a multi-network experiment
+  across them, kill one worker mid-run and assert the coordinator requeues
+  its jobs onto the survivor; then exercise warm-cache exactness and a
+  cross-process streamed cancellation.  CI runs this on every tier-1
+  platform.
+
+``--cache-dir`` names the shared cache every worker mounts; omitting it
+gives the cluster a private temporary directory (useful for selftests and
+benchmarks, wrong for durable deployments).  Worker registration is always
+token-protected: ``--worker-token`` (or ``REPRO_SERVE_TOKEN``) supplies the
+secret, which spawned workers inherit through their environment; a separate
+``--auth-token`` protects the client-facing endpoint.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import sys
+
+from repro.serve.cli import _parse_endpoint
+
+__all__ = ["main"]
+
+#: Small two-network workload for the selftest (sharding needs >1 trace).
+_SELFTEST_OVERRIDES = {
+    "networks": ["alexnet", "vgg_m"],
+    "max_pallets": 2,
+    "samples_per_layer": 1500,
+}
+
+
+def _fail(message: str) -> int:
+    print(f"cluster: {message}", file=sys.stderr)
+    return 1
+
+
+async def _run_batch(args) -> int:
+    """Start a cluster, run one request through it, verify, and exit."""
+    from repro.cluster.coordinator import ClusterService
+    from repro.serve.protocol import ExperimentRequest, RunAllRequest
+
+    service = ClusterService(
+        spawn_workers=args.workers,
+        connect=args.connect,
+        cache_dir=args.cache_dir,
+        worker_processes=args.worker_processes,
+        worker_token=args.worker_token,
+    )
+    if args.run == "all":
+        request = RunAllRequest(preset=args.preset, seed=args.seed)
+    else:
+        request = ExperimentRequest(
+            experiment=args.run, preset=args.preset, seed=args.seed
+        )
+    async with service:
+        ticket = await service.submit(request)
+        response = await service.wait(ticket)
+    if response["event"] != "done":
+        return _fail(f"batch request failed: {response.get('error')}")
+    stats = response["stats"]
+    info = response["result"].get("cluster", {})
+    simulated = stats["sweep"]["configs_simulated"]
+    planned = info.get("planned_units", 0)
+    requeued = service.flights_requeued
+    print(
+        f"cluster run {request.describe()}: planned {planned} unit(s), "
+        f"planned cache hits {info.get('planned_hits', 0)}, "
+        f"simulated {simulated} configs across "
+        f"{len(service.links)} worker(s), {requeued} requeue(s)"
+    )
+    print(
+        "stats: "
+        f"cache {stats['cache']['hits']} hits / {stats['cache']['misses']} misses / "
+        f"{stats['cache']['stores']} stores; "
+        f"simulated {simulated} configs; "
+        f"traces {stats['traces_built']} built / {stats['traces_reused']} reused"
+    )
+    if requeued == 0 and simulated != planned:
+        return _fail(
+            f"exactly-once violated: planned {planned} units but "
+            f"simulated {simulated} configs"
+        )
+    return 0
+
+
+async def _selftest_sharded_run(service, client) -> int:
+    """Cold sharded experiment: every planned unit simulated exactly once."""
+    response = await client.run_experiment("fig9", overrides=_SELFTEST_OVERRIDES)
+    if not response.ok or not response.result:
+        print(f"selftest: sharded run failed: {response.error}", file=sys.stderr)
+        return 1
+    planned = response.result.get("cluster", {}).get("planned_units", 0)
+    simulated = response.stats.sweep.configs_simulated
+    if planned == 0 or simulated != planned:
+        print(
+            f"selftest: expected exactly-once execution of {planned} planned "
+            f"unit(s), merged stats report {simulated} simulated configs",
+            file=sys.stderr,
+        )
+        return 1
+    shards = {link.worker_id: link.completed for link in service.links.values()}
+    workers_used = sum(1 for count in shards.values() if count > 0)
+    print(
+        f"selftest ok: fig9 sharded over {workers_used}/{len(shards)} workers "
+        f"({planned} units, each simulated once; completions {shards})"
+    )
+    return 0
+
+
+async def _selftest_warm_rerun(client) -> int:
+    """A warm rerun recomputes nothing anywhere in the cluster."""
+    response = await client.run_experiment("fig9", overrides=_SELFTEST_OVERRIDES)
+    if not response.ok:
+        print(f"selftest: warm rerun failed: {response.error}", file=sys.stderr)
+        return 1
+    simulated = response.stats.sweep.configs_simulated
+    if simulated != 0:
+        print(
+            f"selftest: warm rerun simulated {simulated} configs (expected 0)",
+            file=sys.stderr,
+        )
+        return 1
+    print("selftest ok: warm rerun reported simulated 0 configs cluster-wide")
+    return 0
+
+
+async def _selftest_worker_kill(service, client) -> int:
+    """Killing a worker mid-run requeues its jobs onto the survivor."""
+    # Fresh trace spec (different seed) so this run is cold again.
+    killed = []
+    terminal = None
+    terminal_event: dict = {}
+    message = {
+        "op": "run_experiment",
+        "experiment": "fig10",
+        "seed": 1,
+        "overrides": _SELFTEST_OVERRIDES,
+    }
+    async for event in client.stream(message):
+        name = event.get("event")
+        if name == "progress" and not killed:
+            worker_id = event.get("progress", {}).get("worker")
+            link = service.links.get(worker_id)
+            if link is not None and link.process is not None:
+                killed.append(worker_id)
+                link.process.terminate()
+        if name in ("done", "failed", "cancelled", "error"):
+            terminal = name
+            terminal_event = event
+    if not killed:
+        print("selftest: no worker progress observed to kill on", file=sys.stderr)
+        return 1
+    if terminal != "done":
+        print(
+            f"selftest: run ended {terminal!r} after killing {killed[0]} "
+            f"({terminal_event.get('error')})",
+            file=sys.stderr,
+        )
+        return 1
+    if service.flights_requeued < 1:
+        print(
+            "selftest: worker killed mid-flight but nothing was requeued",
+            file=sys.stderr,
+        )
+        return 1
+    dead = [link.worker_id for link in service.links.values() if not link.alive]
+    print(
+        f"selftest ok: killed {killed[0]} mid-run; {service.flights_requeued} "
+        f"flight(s) requeued onto survivors (dead: {dead}), run completed"
+    )
+    return 0
+
+
+async def _selftest_cancellation(service, client) -> int:
+    """A client cancel mid-run must interrupt the owning worker process."""
+    cancelled = False
+    terminal = None
+    message = {
+        "op": "run_experiment",
+        "experiment": "fig12",
+        "seed": 2,
+        "overrides": _SELFTEST_OVERRIDES,
+    }
+    async for event in client.stream(message):
+        name = event.get("event")
+        if name == "progress" and not cancelled:
+            cancelled = True
+            await client.cancel(event["ticket"])
+        if name in ("done", "failed", "cancelled", "error"):
+            terminal = name
+    if not cancelled:
+        print("selftest: no progress to cancel on", file=sys.stderr)
+        return 1
+    if terminal != "cancelled":
+        print(
+            f"selftest: expected terminal cancelled, got {terminal!r}", file=sys.stderr
+        )
+        return 1
+    follow_up = await asyncio.wait_for(
+        client.run_experiment("table3", preset="smoke"), timeout=60
+    )
+    if not follow_up.ok:
+        print(f"selftest: post-cancel request failed: {follow_up.error}", file=sys.stderr)
+        return 1
+    print(
+        "selftest ok: cross-process cancellation interrupted the worker "
+        "(terminal cancelled, survivors still serving)"
+    )
+    return 0
+
+
+async def _selftest(args) -> int:
+    """Spawn 2 workers, shard, kill one mid-run, cancel cross-process."""
+    from repro.cluster.coordinator import ClusterService
+    from repro.serve.client import ServeClient
+
+    workers = max(args.workers, 2)
+    service = ClusterService(
+        spawn_workers=workers,
+        cache_dir=args.cache_dir,
+        worker_processes=args.worker_processes,
+        worker_token=args.worker_token,
+    )
+    async with service:
+        server = await service.serve_tcp("127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        async with server:
+            client = await ServeClient.connect("127.0.0.1", port)
+            try:
+                pids = [link.pid for link in service.links.values()]
+                print(f"selftest: {workers} workers up (pids {pids})")
+                for check in (
+                    lambda: _selftest_sharded_run(service, client),
+                    lambda: _selftest_warm_rerun(client),
+                    lambda: _selftest_worker_kill(service, client),
+                    lambda: _selftest_cancellation(service, client),
+                ):
+                    status = await check()
+                    if status:
+                        return status
+                return 0
+            finally:
+                await client.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro cluster",
+        description="Shard experiment execution across worker processes "
+        "behind the standard serve protocol.",
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--tcp",
+        type=_parse_endpoint,
+        metavar="HOST:PORT",
+        help="serve the public protocol on HOST:PORT (port 0 = ephemeral)",
+    )
+    mode.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve the public protocol over stdin/stdout",
+    )
+    mode.add_argument(
+        "--run",
+        metavar="EXPERIMENT|all",
+        help="one-shot batch: run one experiment (or 'all'), verify "
+        "exactly-once execution, print merged stats, exit",
+    )
+    mode.add_argument(
+        "--selftest",
+        action="store_true",
+        help="spawn 2 workers, shard a run, kill one worker mid-run, "
+        "assert requeue + completion + cross-process cancellation",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="local worker processes to spawn (default: 2; 0 with --connect)",
+    )
+    parser.add_argument(
+        "--connect",
+        type=_parse_endpoint,
+        action="append",
+        default=[],
+        metavar="HOST:PORT",
+        help="attach a pre-started worker (repeatable); workers must share "
+        "a cache backend",
+    )
+    parser.add_argument(
+        "--worker-processes",
+        type=int,
+        default=2,
+        metavar="K",
+        help="concurrent jobs per spawned worker (default: 2)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="shared result cache all workers mount (default: a private "
+        "temporary directory, removed on exit)",
+    )
+    parser.add_argument(
+        "--worker-token",
+        default=None,
+        metavar="TOKEN",
+        help="shared secret for worker registration (default: "
+        "$REPRO_SERVE_TOKEN, or generated per run)",
+    )
+    parser.add_argument(
+        "--auth-token",
+        default=None,
+        metavar="TOKEN",
+        help="require clients of the coordinator's endpoint to authenticate",
+    )
+    parser.add_argument("--preset", default="fast", help="preset for --run (default: fast)")
+    parser.add_argument("--seed", type=int, default=0, help="seed for --run (default: 0)")
+    args = parser.parse_args(argv)
+    if args.workers < 0:
+        parser.error("--workers must be non-negative")
+    if args.workers == 0 and not args.connect:
+        parser.error("a cluster needs --workers >= 1 and/or --connect endpoints")
+    if args.worker_token is None:
+        args.worker_token = os.environ.get("REPRO_SERVE_TOKEN") or None
+
+    try:
+        if args.selftest:
+            return asyncio.run(_selftest(args))
+        if args.run:
+            from repro.experiments.runner import EXPERIMENTS
+
+            if args.run != "all" and args.run not in EXPERIMENTS:
+                parser.error(
+                    f"unknown experiment {args.run!r}; "
+                    f"available: all, {', '.join(EXPERIMENTS)}"
+                )
+            return asyncio.run(_run_batch(args))
+        if args.tcp is None and not args.stdio:
+            parser.error("pick a mode: --tcp, --stdio, --run or --selftest")
+
+        from repro.cluster.coordinator import ClusterService
+
+        service = ClusterService(
+            spawn_workers=args.workers,
+            connect=args.connect,
+            cache_dir=args.cache_dir,
+            worker_processes=args.worker_processes,
+            worker_token=args.worker_token,
+            auth_token=args.auth_token,
+        )
+
+        async def run_tcp(host: str, port: int) -> None:
+            async with service:
+                server = await service.serve_tcp(host, port)
+                bound = server.sockets[0].getsockname()
+                print(
+                    f"repro cluster: coordinator on {bound[0]}:{bound[1]} "
+                    f"({len(service.links)} workers)",
+                    file=sys.stderr,
+                )
+                async with server:
+                    await service.wait_shutdown()
+
+        if args.tcp:
+            asyncio.run(run_tcp(*args.tcp))
+        else:
+            asyncio.run(service.run_stdio())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

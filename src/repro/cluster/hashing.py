@@ -1,0 +1,45 @@
+"""Rendezvous (highest-random-weight) hashing for shard routing.
+
+The coordinator routes every planned job to a worker by rendezvous hash of
+the job's *content key* — the same fingerprint the runtime cache and the
+serve coalescer already key on.  Rendezvous hashing gives the two properties
+the cluster needs (``docs/cluster.md``):
+
+* **stable shards** — a given content key prefers the same worker for as
+  long as that worker lives, so repeated sweeps over one network land where
+  that network's trace (and per-process memo) is already warm;
+* **minimal disruption** — when a worker dies, only the keys it owned move
+  (each to its next-preferred survivor); every other key keeps its shard, so
+  a death never reshuffles the whole cluster's working set.
+
+Weights are SHA-256 digests of ``key + worker id`` — deterministic across
+processes and Python versions (no ``hash()`` randomization), which is what
+lets a restarted coordinator route identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence
+
+__all__ = ["rendezvous_rank", "rendezvous_owner"]
+
+
+def _weight(key: str, member: str) -> bytes:
+    return hashlib.sha256(f"{key}\x00{member}".encode("utf-8")).digest()
+
+
+def rendezvous_rank(key: str, members: Iterable[str]) -> list[str]:
+    """Every member, most- to least-preferred for ``key``.
+
+    The full preference order is what failover walks: if the first choice is
+    dead, the job belongs to the next listed survivor, and so on.
+    """
+    return sorted(members, key=lambda member: _weight(key, member), reverse=True)
+
+
+def rendezvous_owner(key: str, members: Sequence[str]) -> str:
+    """The preferred owner of ``key`` among ``members`` (which must be non-empty)."""
+    if not members:
+        raise ValueError("rendezvous hashing needs at least one member")
+    return max(members, key=lambda member: _weight(key, member))
