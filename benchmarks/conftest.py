@@ -13,7 +13,6 @@ simulations — each benchmark pays the full cost of its own reproduction.
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
@@ -21,17 +20,16 @@ import pytest
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.runner import run_experiment
+from repro.loadgen.trajectory import append_experiment_measurement, current_git_sha
 from repro.runtime import isolated_session
 
 #: Directory the benchmark reports are written to.
 REPORTS_DIR = Path(__file__).parent / "reports"
 
-#: Machine-readable per-experiment wall times, merged across benchmark runs
-#: so the performance trajectory is trackable across PRs.
+#: The append-only performance trajectory (schema and record contract live in
+#: :mod:`repro.loadgen.trajectory`): one record per PR, each benchmark run
+#: merging its wall times into the record of the current git sha.
 SUMMARY_PATH = REPORTS_DIR / "bench_summary.json"
-
-#: Schema version of ``bench_summary.json``.
-SUMMARY_SCHEMA = 1
 
 #: Preset used by every benchmark run.
 BENCHMARK_PRESET = "fast"
@@ -44,26 +42,17 @@ def _run_isolated(experiment: str, preset: str) -> ExperimentResult:
 
 
 def record_summary(experiment: str, preset: str, wall_seconds: float) -> None:
-    """Merge one measurement into ``bench_summary.json`` (atomic enough for CI).
+    """Record one measurement into the perf trajectory's head record.
 
-    The file maps experiment id → its latest measurement; a corrupted or
-    missing summary is simply restarted, never fatal to the benchmark.
+    A corrupted or missing trajectory is simply restarted (and a legacy
+    schema-1 snapshot ingested as record 0), never fatal to the benchmark.
     """
-    summary = {"schema": SUMMARY_SCHEMA, "experiments": {}}
-    try:
-        loaded = json.loads(SUMMARY_PATH.read_text(encoding="utf-8"))
-        if loaded.get("schema") == SUMMARY_SCHEMA and isinstance(
-            loaded.get("experiments"), dict
-        ):
-            summary = loaded
-    except (OSError, ValueError):
-        pass
-    summary["experiments"][experiment] = {
-        "preset": preset,
-        "wall_seconds": round(wall_seconds, 3),
-    }
-    SUMMARY_PATH.write_text(
-        json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    append_experiment_measurement(
+        SUMMARY_PATH,
+        experiment,
+        preset,
+        wall_seconds,
+        git_sha=current_git_sha(Path(__file__).parent),
     )
 
 

@@ -2,8 +2,10 @@
 
 ``python -m repro serve ...`` starts the async serving front-end
 (:mod:`repro.serve.cli`); ``python -m repro cluster ...`` starts the sharded
-multi-worker coordinator (:mod:`repro.cluster.cli`); anything else is the
-batch experiment runner CLI (:mod:`repro.experiments.runner`).
+multi-worker coordinator (:mod:`repro.cluster.cli`); ``python -m repro
+loadgen ...`` drives sustained traffic against either and gates the perf
+trajectory (:mod:`repro.loadgen.cli`); anything else is the batch experiment
+runner CLI (:mod:`repro.experiments.runner`).
 """
 
 import sys
@@ -19,6 +21,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.cluster.cli import main as cluster_main
 
         return cluster_main(argv[1:])
+    if argv and argv[0] == "loadgen":
+        from repro.loadgen.cli import main as loadgen_main
+
+        return loadgen_main(argv[1:])
     from repro.experiments.runner import main as runner_main
 
     return runner_main(argv)

@@ -170,12 +170,23 @@ class _JobContext:
         self._credited: set[int] = set()
         self.planned_units = 0
         self.planned_hits = 0
+        #: Summed worker-side execution seconds of this job's flights — the
+        #: ``timings`` blocks the workers report, forwarded so a client sees
+        #: the cluster-wide compute its request cost (not just coordinator
+        #: wall time, which overlaps flights).
+        self.worker_execution_seconds = 0.0
 
-    def credit_stats(self, flight: "_Flight", stats: dict | None) -> None:
-        if stats and id(flight) not in self._credited:
-            self._credited.add(id(flight))
+    def credit_flight(self, flight: "_Flight", payload: dict) -> None:
+        """Fold one flight's stats and worker timings into this job, once."""
+        if id(flight) in self._credited:
+            return
+        self._credited.add(id(flight))
+        stats = payload.get("stats")
+        if stats:
             # Distinct caches: each flight ran in a different worker process.
             self.stats.merge(stats, distinct_caches=True)
+        timings = payload.get("timings") or {}
+        self.worker_execution_seconds += timings.get("execution_seconds", 0.0)
 
 
 class ClusterService(ExperimentService):
@@ -493,7 +504,7 @@ class ClusterService(ExperimentService):
         # A flight shared across client jobs is credited to its initiator
         # only, so cluster totals never double-count one execution.
         if ctx is (flight.interested[0] if flight.interested else None):
-            ctx.credit_stats(flight, payload.get("stats"))
+            ctx.credit_flight(flight, payload)
         return payload
 
     @staticmethod
@@ -508,6 +519,7 @@ class ClusterService(ExperimentService):
         return {
             "planned_units": ctx.planned_units,
             "planned_hits": ctx.planned_hits,
+            "worker_execution_seconds": round(ctx.worker_execution_seconds, 6),
         }
 
     def _checkpoint(self, ctx: _JobContext) -> None:
@@ -669,6 +681,7 @@ class ClusterService(ExperimentService):
     # -------------------------------------------------------------------- stats
     def stats(self) -> dict:
         payload = super().stats()
+        flight_joins = self.flights_dispatched + self.flights_coalesced
         payload["cluster"] = {
             "workers": [link.describe() for link in self.links.values()],
             "flights_dispatched": self.flights_dispatched,
@@ -677,6 +690,17 @@ class ClusterService(ExperimentService):
             "flights_inflight": len(self._flights),
             "workers_lost": sum(1 for link in self.links.values() if not link.alive),
             "cache_dir": str(self.cache_dir),
+            # Cluster-wide coalescing effectiveness: the queue-level section
+            # (payload["coalescing"]) counts client tickets per client job;
+            # this one counts planned jobs per executed flight.
+            "coalescing": {
+                "flight_joins": flight_joins,
+                "flights_coalesced": self.flights_coalesced,
+                "flights_executed": self.flights_dispatched,
+                "hit_rate": round(self.flights_coalesced / flight_joins, 6)
+                if flight_joins
+                else 0.0,
+            },
         }
         return payload
 

@@ -1,0 +1,53 @@
+"""repro.loadgen — sustained-traffic load harness for serve and cluster.
+
+The subsystem every perf claim is judged by (``docs/loadgen.md``):
+
+* :mod:`repro.loadgen.mix` — declarative request-mix specs (hot/cold cache
+  ratio, experiment/preset distributions, stream vs. batch delivery,
+  cancellation rate, concurrency ramp) compiled by a deterministic seeded
+  scheduler into a replayable request schedule;
+* :mod:`repro.loadgen.metrics` — bounded-relative-error latency histogram
+  (HDR-style log buckets) and percentile math;
+* :mod:`repro.loadgen.swarm` — the asyncio client swarm replaying a schedule
+  against a ``repro serve`` instance or a ``repro cluster`` coordinator over
+  real :class:`~repro.serve.client.ServeClient` connections;
+* :mod:`repro.loadgen.report` — the run report (p50/p95/p99, throughput,
+  error/cancel counts, coalescing hit-rate, worker utilization) as text and
+  schema-checked JSON;
+* :mod:`repro.loadgen.trajectory` — the schema-versioned append-only perf
+  trajectory behind ``benchmarks/reports/bench_summary.json``;
+* :mod:`repro.loadgen.gate` — the CI regression gate comparing the two
+  newest trajectory records;
+* :mod:`repro.loadgen.cli` — ``python -m repro loadgen`` (``--spawn`` for
+  hermetic runs, ``--gate`` for the CI check).
+"""
+
+from repro.loadgen.gate import GateResult, check_gate
+from repro.loadgen.metrics import LatencyHistogram
+from repro.loadgen.mix import MixError, MixSpec, PlannedRequest
+from repro.loadgen.report import LoadReport, validate_report
+from repro.loadgen.swarm import LoadSwarm
+from repro.loadgen.trajectory import (
+    TRAJECTORY_SCHEMA,
+    append_loadgen_section,
+    load_trajectory,
+    save_trajectory,
+    upsert_record,
+)
+
+__all__ = [
+    "GateResult",
+    "check_gate",
+    "LatencyHistogram",
+    "MixError",
+    "MixSpec",
+    "PlannedRequest",
+    "LoadReport",
+    "validate_report",
+    "LoadSwarm",
+    "TRAJECTORY_SCHEMA",
+    "append_loadgen_section",
+    "load_trajectory",
+    "save_trajectory",
+    "upsert_record",
+]

@@ -1,0 +1,164 @@
+"""The CI regression gate over the performance trajectory.
+
+:func:`check_gate` compares the **newest** trajectory record against the one
+before it and fails on any metric that regressed by more than the threshold
+(default 20%):
+
+* every experiment wall time present in both records
+  (``experiments.<name>.wall_seconds``, same preset required — a preset
+  change is a workload change, not a regression);
+* every loadgen p95 present in both records
+  (``loadgen.<target>.p95_seconds``).
+
+Policy details (``docs/loadgen.md``):
+
+* metrics whose baseline is below ``min_seconds`` (default 0.1 s) are
+  skipped — sub-100ms analytic experiments measure scheduler noise, not
+  work, and a 0 → 0.01 s "regression" would be division theatre;
+* a metric present in only one record is skipped (new workloads start a
+  fresh baseline; removed workloads stop being gated);
+* fewer than two records is ``no-baseline``: the gate passes with an
+  explicit status rather than inventing a comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.loadgen.trajectory import load_trajectory
+
+__all__ = ["DEFAULT_THRESHOLD", "DEFAULT_MIN_SECONDS", "GateFinding", "GateResult", "check_gate", "check_gate_file"]
+
+#: Maximum tolerated relative slowdown before the gate fails.
+DEFAULT_THRESHOLD = 0.20
+
+#: Metrics with a baseline below this are noise, not signal; skipped.
+DEFAULT_MIN_SECONDS = 0.1
+
+
+@dataclass(frozen=True)
+class GateFinding:
+    """One metric's baseline → current comparison."""
+
+    metric: str
+    baseline: float
+    current: float
+    regressed: bool
+    skipped: bool = False
+
+    @property
+    def change(self) -> float:
+        """Relative change (+0.25 = 25% slower)."""
+        if self.baseline <= 0:
+            return 0.0
+        return self.current / self.baseline - 1.0
+
+    def describe(self) -> str:
+        tag = "SKIP" if self.skipped else ("FAIL" if self.regressed else "ok")
+        return (
+            f"[{tag}] {self.metric}: {self.baseline:.3f}s -> {self.current:.3f}s "
+            f"({self.change:+.1%})"
+        )
+
+
+@dataclass
+class GateResult:
+    """Outcome of one gate check."""
+
+    status: str  # "pass" | "fail" | "no-baseline"
+    threshold: float
+    findings: list[GateFinding] = field(default_factory=list)
+    baseline_label: str | None = None
+    current_label: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status != "fail"
+
+    @property
+    def regressions(self) -> list[GateFinding]:
+        return [finding for finding in self.findings if finding.regressed]
+
+    def describe(self) -> str:
+        if self.status == "no-baseline":
+            return "gate: no baseline record to compare against (pass by default)"
+        lines = [
+            f"gate: {self.current_label or 'newest record'} vs "
+            f"{self.baseline_label or 'previous record'} "
+            f"(threshold {self.threshold:.0%})"
+        ]
+        lines += [f"  {finding.describe()}" for finding in self.findings]
+        lines.append(
+            f"gate: {self.status.upper()} — {len(self.regressions)} regression(s) "
+            f"across {sum(1 for f in self.findings if not f.skipped)} compared metric(s)"
+        )
+        return "\n".join(lines)
+
+
+def _record_label(record: dict) -> str:
+    label = record.get("label")
+    sha = record.get("git_sha")
+    short = sha[:9] if isinstance(sha, str) else None
+    if label and short:
+        return f"{label} ({short})"
+    return label or short or f"record {record.get('index')}"
+
+
+def _metrics(record: dict) -> dict[str, tuple[float, str | None]]:
+    """Flatten a record into ``metric name -> (seconds, qualifier)``."""
+    flat: dict[str, tuple[float, str | None]] = {}
+    for name, entry in (record.get("experiments") or {}).items():
+        wall = entry.get("wall_seconds")
+        if isinstance(wall, (int, float)):
+            flat[f"experiment:{name}"] = (float(wall), entry.get("preset"))
+    for target, entry in (record.get("loadgen") or {}).items():
+        p95 = entry.get("p95_seconds")
+        if isinstance(p95, (int, float)):
+            flat[f"loadgen:{target}:p95"] = (float(p95), None)
+    return flat
+
+
+def check_gate(
+    trajectory: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> GateResult:
+    """Gate the newest trajectory record against its predecessor."""
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    records = trajectory.get("records") or []
+    if len(records) < 2:
+        return GateResult(status="no-baseline", threshold=threshold)
+    baseline_record, current_record = records[-2], records[-1]
+    baseline = _metrics(baseline_record)
+    current = _metrics(current_record)
+    findings: list[GateFinding] = []
+    for metric in sorted(set(baseline) & set(current)):
+        base_value, base_qualifier = baseline[metric]
+        cur_value, cur_qualifier = current[metric]
+        if base_qualifier != cur_qualifier:
+            continue  # preset changed: different workload, no comparison
+        if base_value < min_seconds:
+            findings.append(
+                GateFinding(metric, base_value, cur_value, regressed=False, skipped=True)
+            )
+            continue
+        regressed = cur_value > base_value * (1.0 + threshold)
+        findings.append(GateFinding(metric, base_value, cur_value, regressed=regressed))
+    status = "fail" if any(finding.regressed for finding in findings) else "pass"
+    return GateResult(
+        status=status,
+        threshold=threshold,
+        findings=findings,
+        baseline_label=_record_label(baseline_record),
+        current_label=_record_label(current_record),
+    )
+
+
+def check_gate_file(
+    path,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> GateResult:
+    """Load a trajectory file and gate it (the CLI / CI entry point)."""
+    return check_gate(load_trajectory(path), threshold=threshold, min_seconds=min_seconds)

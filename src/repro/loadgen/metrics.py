@@ -1,0 +1,103 @@
+"""Latency recording with bounded relative error (HDR-histogram style).
+
+Recording a raw float per request would make long soak runs cost O(requests)
+memory and percentile extraction O(n log n).  :class:`LatencyHistogram`
+instead quantizes each sample into geometric buckets — bucket ``i`` covers
+``[MIN * g^i, MIN * g^(i+1))`` with growth factor ``g`` — so memory is
+O(distinct magnitudes) and any percentile is reconstructed to within the
+configured relative ``precision`` (default 2%), the same trade HDR histograms
+make.  Exact ``min``/``max``/``mean`` are tracked on the side.
+``docs/loadgen.md`` defines every metric the reports derive from this.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["LatencyHistogram"]
+
+#: Smallest representable latency (one microsecond); samples clamp to it.
+_MIN_SECONDS = 1e-6
+
+
+class LatencyHistogram:
+    """Geometric-bucket latency histogram with percentile extraction.
+
+    ``precision`` bounds the relative error of reconstructed percentiles:
+    0.02 means any reported quantile is within 2% of the true sample value.
+    """
+
+    def __init__(self, precision: float = 0.02) -> None:
+        if not 0.0 < precision < 1.0:
+            raise ValueError("precision must be within (0, 1)")
+        self.precision = precision
+        self._growth = 1.0 + 2.0 * precision  # bucket midpoint error <= precision
+        self._log_growth = math.log(self._growth)
+        self._buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    # ------------------------------------------------------------------ record
+    def record(self, seconds: float) -> None:
+        """Record one latency sample (non-finite and negative are rejected)."""
+        if not isinstance(seconds, (int, float)) or not math.isfinite(seconds):
+            raise ValueError(f"latency sample must be a finite number, got {seconds!r}")
+        seconds = max(float(seconds), _MIN_SECONDS)
+        index = int(math.log(seconds / _MIN_SECONDS) / self._log_growth)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+        self.count += 1
+        self.total += seconds
+        self.min = seconds if self.min is None else min(self.min, seconds)
+        self.max = seconds if self.max is None else max(self.max, seconds)
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Accumulate another histogram recorded with the same precision."""
+        if other.precision != self.precision:
+            raise ValueError("cannot merge histograms of different precision")
+        for index, count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + count
+        self.count += other.count
+        self.total += other.total
+        for bound in (other.min, other.max):
+            if bound is None:
+                continue
+            self.min = bound if self.min is None else min(self.min, bound)
+            self.max = bound if self.max is None else max(self.max, bound)
+
+    # -------------------------------------------------------------- percentiles
+    def percentile(self, p: float) -> float | None:
+        """The ``p``-th percentile (0..100) of the recorded samples.
+
+        Uses the nearest-rank definition over bucket midpoints, clamped to
+        the exact observed ``min``/``max``; ``None`` while empty.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be within [0, 100]")
+        if self.count == 0:
+            return None
+        rank = max(1, math.ceil(self.count * p / 100.0))
+        seen = 0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= rank:
+                midpoint = _MIN_SECONDS * self._growth ** (index + 0.5)
+                return min(max(midpoint, self.min), self.max)
+        return self.max  # pragma: no cover - rank <= count guarantees the loop hits
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+    def summary(self) -> dict:
+        """The JSON-ready percentile block every loadgen report embeds."""
+        return {
+            "count": self.count,
+            "mean_seconds": round(self.mean, 6) if self.count else None,
+            "min_seconds": round(self.min, 6) if self.count else None,
+            "max_seconds": round(self.max, 6) if self.count else None,
+            "p50_seconds": round(self.percentile(50), 6) if self.count else None,
+            "p95_seconds": round(self.percentile(95), 6) if self.count else None,
+            "p99_seconds": round(self.percentile(99), 6) if self.count else None,
+        }

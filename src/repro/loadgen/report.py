@@ -1,0 +1,213 @@
+"""The loadgen run report: one JSON object, one text rendering, one schema.
+
+A :class:`LoadReport` is what a swarm run produces and what the perf
+trajectory records: client-observed latency percentiles, the server-reported
+queue-wait/execution breakdowns (the serve layer's per-request ``timings``
+block), throughput, outcome counts, coalescing effectiveness and worker
+utilization — every metric is defined in ``docs/loadgen.md``.
+:func:`validate_report` is the schema check CI runs against every emitted
+report — a malformed report fails the smoke step rather than silently
+shipping garbage numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.loadgen.metrics import LatencyHistogram
+
+__all__ = ["REPORT_SCHEMA", "LoadReport", "validate_report"]
+
+#: Schema version of the report JSON (bump on breaking shape changes).
+REPORT_SCHEMA = 1
+
+#: Keys every percentile block must carry.
+_PERCENTILE_KEYS = (
+    "count",
+    "mean_seconds",
+    "min_seconds",
+    "max_seconds",
+    "p50_seconds",
+    "p95_seconds",
+    "p99_seconds",
+)
+
+
+@dataclass
+class LoadReport:
+    """Everything one load run measured."""
+
+    target: str  # "serve" | "cluster" | "connect"
+    mix: dict
+    duration_seconds: float
+    #: Client-observed request latency (submit → terminal event).
+    latency: LatencyHistogram
+    #: Server-reported queue wait / execution (the ``timings`` satellite).
+    queue_wait: LatencyHistogram
+    execution: LatencyHistogram
+    issued: int = 0
+    done: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    cancel_requested: int = 0
+    coalesced_tickets: int = 0
+    hot_issued: int = 0
+    streamed: int = 0
+    progress_events: int = 0
+    errors: list[str] = field(default_factory=list)
+    #: The server's ``stats`` payload sections captured after the run.
+    server_coalescing: dict = field(default_factory=dict)
+    server_queue: dict = field(default_factory=dict)
+    workers: int | None = None
+    per_worker: list[dict] = field(default_factory=list)
+    cluster_coalescing: dict | None = None
+
+    # ------------------------------------------------------------------ derived
+    @property
+    def throughput_rps(self) -> float:
+        finished = self.done + self.failed + self.cancelled
+        if self.duration_seconds <= 0:
+            return 0.0
+        return round(finished / self.duration_seconds, 3)
+
+    @property
+    def utilization(self) -> float | None:
+        """Fraction of total worker capacity the run kept busy.
+
+        Summed server-side execution seconds over ``duration * workers`` —
+        honest for serve (one process), an approximation for a cluster
+        (coordinator-side assembly time excluded).
+        """
+        if not self.workers or self.duration_seconds <= 0:
+            return None
+        return round(self.execution.total / (self.duration_seconds * self.workers), 4)
+
+    # --------------------------------------------------------------------- JSON
+    def to_dict(self) -> dict:
+        payload = {
+            "schema": REPORT_SCHEMA,
+            "target": self.target,
+            "mix": self.mix,
+            "duration_seconds": round(self.duration_seconds, 3),
+            "throughput_rps": self.throughput_rps,
+            "requests": {
+                "issued": self.issued,
+                "done": self.done,
+                "failed": self.failed,
+                "cancelled": self.cancelled,
+                "cancel_requested": self.cancel_requested,
+                "coalesced_tickets": self.coalesced_tickets,
+                "hot": self.hot_issued,
+                "streamed": self.streamed,
+                "progress_events": self.progress_events,
+            },
+            "latency": self.latency.summary(),
+            "queue_wait": self.queue_wait.summary(),
+            "execution": self.execution.summary(),
+            "coalescing": self.server_coalescing,
+            "server_queue": self.server_queue,
+            "workers": self.workers,
+            "utilization": self.utilization,
+            "per_worker": self.per_worker,
+            "errors": self.errors[:20],  # bounded: a soak of failures stays readable
+        }
+        if self.cluster_coalescing is not None:
+            payload["cluster_coalescing"] = self.cluster_coalescing
+        return payload
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    # --------------------------------------------------------------------- text
+    def to_text(self) -> str:
+        lat = self.latency.summary()
+        qw = self.queue_wait.summary()
+        ex = self.execution.summary()
+
+        def fmt(block: dict, key: str) -> str:
+            value = block.get(key)
+            return f"{value * 1000:.1f}ms" if value is not None else "-"
+
+        lines = [
+            f"loadgen report — target {self.target}",
+            f"  requests   {self.issued} issued: {self.done} done, "
+            f"{self.failed} failed, {self.cancelled} cancelled "
+            f"({self.cancel_requested} cancels sent, {self.hot_issued} hot, "
+            f"{self.streamed} streamed)",
+            f"  duration   {self.duration_seconds:.2f}s  "
+            f"throughput {self.throughput_rps} req/s",
+            f"  latency    p50 {fmt(lat, 'p50_seconds')}  p95 {fmt(lat, 'p95_seconds')}  "
+            f"p99 {fmt(lat, 'p99_seconds')}  max {fmt(lat, 'max_seconds')}",
+            f"  queue wait p50 {fmt(qw, 'p50_seconds')}  p95 {fmt(qw, 'p95_seconds')}",
+            f"  execution  p50 {fmt(ex, 'p50_seconds')}  p95 {fmt(ex, 'p95_seconds')}",
+        ]
+        if self.server_coalescing:
+            lines.append(
+                f"  coalescing {self.server_coalescing.get('tickets_coalesced', 0)}"
+                f"/{self.server_coalescing.get('tickets_attached', 0)} tickets "
+                f"(hit rate {self.server_coalescing.get('hit_rate', 0.0):.1%}, "
+                f"{self.server_coalescing.get('jobs_executed', 0)} jobs executed)"
+            )
+        if self.cluster_coalescing:
+            lines.append(
+                f"  flights    {self.cluster_coalescing.get('flights_executed', 0)} executed, "
+                f"{self.cluster_coalescing.get('flights_coalesced', 0)} coalesced "
+                f"(hit rate {self.cluster_coalescing.get('hit_rate', 0.0):.1%})"
+            )
+        if self.utilization is not None:
+            lines.append(
+                f"  workers    {self.workers} — utilization {self.utilization:.1%}"
+            )
+        for entry in self.per_worker:
+            lines.append(
+                f"    {entry.get('worker')}: {entry.get('completed', 0)} completed "
+                f"of {entry.get('dispatched', 0)} dispatched"
+            )
+        if self.errors:
+            lines.append(f"  errors     {len(self.errors)} (first: {self.errors[0]})")
+        return "\n".join(lines)
+
+    def trajectory_section(self) -> dict:
+        """The compact block a perf-trajectory record stores per target."""
+        lat = self.latency.summary()
+        return {
+            "requests": self.issued,
+            "done": self.done,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "throughput_rps": self.throughput_rps,
+            "p50_seconds": lat["p50_seconds"],
+            "p95_seconds": lat["p95_seconds"],
+            "p99_seconds": lat["p99_seconds"],
+            "coalescing_hit_rate": self.server_coalescing.get("hit_rate"),
+            "mix_seed": self.mix.get("seed"),
+        }
+
+
+def validate_report(payload: dict) -> None:
+    """Assert a report dict is well-formed; raises ``ValueError`` if not."""
+    if not isinstance(payload, dict):
+        raise ValueError("report must be a JSON object")
+    if payload.get("schema") != REPORT_SCHEMA:
+        raise ValueError(f"report schema must be {REPORT_SCHEMA}")
+    for key in ("target", "mix", "duration_seconds", "throughput_rps", "requests",
+                "latency", "queue_wait", "execution", "coalescing", "workers"):
+        if key not in payload:
+            raise ValueError(f"report is missing {key!r}")
+    requests = payload["requests"]
+    for key in ("issued", "done", "failed", "cancelled", "cancel_requested"):
+        if not isinstance(requests.get(key), int):
+            raise ValueError(f"report requests.{key} must be an integer")
+    for block_name in ("latency", "queue_wait", "execution"):
+        block = payload[block_name]
+        missing = [key for key in _PERCENTILE_KEYS if key not in block]
+        if missing:
+            raise ValueError(f"report {block_name} is missing {', '.join(missing)}")
+    finished = requests["done"] + requests["failed"] + requests["cancelled"]
+    if finished != requests["issued"]:
+        raise ValueError(
+            f"report accounts for {finished} outcomes but issued {requests['issued']}"
+        )
+    if requests["done"] and payload["latency"]["p95_seconds"] is None:
+        raise ValueError("report has completed requests but no latency percentiles")

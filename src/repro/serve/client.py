@@ -36,6 +36,9 @@ class ServeResponse:
     stats: RunStats
     error: str | None = None
     elapsed_seconds: float | None = None
+    #: Server-side wall-clock breakdown (queue-wait / execution / total), when
+    #: the server reported one (see ``Job.timings`` in ``repro.serve.queue``).
+    timings: dict | None = None
     events: list[str] = field(default_factory=list)
 
     @property
@@ -54,6 +57,7 @@ def _response_from(payload: dict, events: list[str]) -> ServeResponse:
         stats=stats,
         error=payload.get("error"),
         elapsed_seconds=payload.get("elapsed_seconds"),
+        timings=payload.get("timings"),
         events=events,
     )
 

@@ -64,9 +64,31 @@ class Job:
         self.stats: dict = {}
         self.tickets: list[Ticket] = []
         self.done = asyncio.Event()
+        self.enqueued: float = time.perf_counter()
         self.started: float | None = None
+        self.finished_at: float | None = None
         self.elapsed: float | None = None
         self.token = ProgressToken()
+
+    def timings(self) -> dict | None:
+        """Server-side wall-clock breakdown of a *finished* job.
+
+        ``queue_wait_seconds`` covers enqueue → first execution (the whole
+        life for a job that never ran), ``execution_seconds`` the worker's
+        share, ``total_seconds`` enqueue → terminal state.  Measured on the
+        server so load-generator latency breakdowns do not depend solely on
+        client-side clocks; ``None`` while the job is still in flight.
+        """
+        if self.finished_at is None:
+            return None
+        started = self.started if self.started is not None else self.finished_at
+        return {
+            "queue_wait_seconds": round(max(0.0, started - self.enqueued), 6),
+            "execution_seconds": round(
+                self.finished_at - self.started if self.started is not None else 0.0, 6
+            ),
+            "total_seconds": round(self.finished_at - self.enqueued, 6),
+        }
 
     @property
     def live_tickets(self) -> list["Ticket"]:
@@ -261,8 +283,9 @@ class RequestQueue:
         job.result = result
         job.error = error
         job.stats = stats or {}
+        job.finished_at = time.perf_counter()
         job.elapsed = (
-            time.perf_counter() - job.started if job.started is not None else None
+            job.finished_at - job.started if job.started is not None else None
         )
         if cancelled:
             job.state = "cancelled"
@@ -342,6 +365,7 @@ class RequestQueue:
         if not job.live_tickets:
             if job.state == "queued":
                 job.state = "cancelled"
+                job.finished_at = time.perf_counter()
                 self._inflight.pop(job.key, None)
                 job.done.set()
             elif job.state == "running":

@@ -255,6 +255,9 @@ class ExperimentService:
         }
         if job.elapsed is not None:
             payload["elapsed_seconds"] = round(job.elapsed, 6)
+        timings = job.timings()
+        if timings is not None:
+            payload["timings"] = timings
         if ticket.state == "done":
             payload["result"] = job.result
             payload["stats"] = job.stats
@@ -312,6 +315,7 @@ class ExperimentService:
             "event": "stats",
             "stats": totals.as_dict(),
             "queue": self.queue.depth(),
+            "coalescing": self.coalescing_stats(),
             "cache_dir": usage["directory"],
             "cache_entries": usage["entries"],
             "cache": usage,
@@ -328,6 +332,25 @@ class ExperimentService:
                     "removed_entries": self.gc_removed_entries,
                 }
             ),
+        }
+
+    def coalescing_stats(self) -> dict:
+        """Coalescing effectiveness since service start (the ``stats`` op).
+
+        ``tickets_attached`` counts every submitted client request,
+        ``jobs_executed`` the executions actually performed for them
+        (completed + failed + interrupted-while-running); the difference is
+        work the coalescer absorbed.  ``hit_rate`` is the fraction of tickets
+        that attached to an already-in-flight job.
+        """
+        depth = self.queue.depth()
+        attached = depth["submitted"]
+        coalesced = depth["coalesced"]
+        return {
+            "tickets_attached": attached,
+            "tickets_coalesced": coalesced,
+            "jobs_executed": depth["completed"] + depth["failed"] + depth["interrupted"],
+            "hit_rate": round(coalesced / attached, 6) if attached else 0.0,
         }
 
     def collect_garbage(self, max_bytes: int | None = None, max_age: float | None = None) -> dict:

@@ -396,10 +396,19 @@ class TestClusterExecution:
                 ticket = await coordinator.submit(request)
                 response = await coordinator.wait(ticket)
                 assert response["event"] == "done"
+                # Worker-side compute is forwarded: the response's cluster
+                # section sums the execution_seconds its flights reported.
+                assert response["result"]["cluster"]["worker_execution_seconds"] > 0
                 payload = await coordinator.cluster_stats()
                 cluster_section = payload["cluster"]
                 assert len(cluster_section["workers"]) == 2
                 assert cluster_section["flights_dispatched"] >= 2
+                # Cluster-wide coalescing effectiveness (the stats satellite):
+                # one isolated request joins every flight fresh.
+                coalescing = cluster_section["coalescing"]
+                assert coalescing["flights_executed"] == cluster_section["flights_dispatched"]
+                assert coalescing["flight_joins"] >= coalescing["flights_executed"]
+                assert 0.0 <= coalescing["hit_rate"] <= 1.0
                 fleet = cluster_section["fleet"]
                 # The fleet section saw the simulations the workers ran.
                 assert fleet["sweep"]["configs_simulated"] == 5

@@ -23,6 +23,7 @@ REQUIRED = (
     "docs/runtime.md",
     "docs/serving.md",
     "docs/cluster.md",
+    "docs/loadgen.md",
 )
 
 
@@ -85,6 +86,7 @@ def test_readme_links_the_docs_site():
         "docs/runtime.md",
         "docs/serving.md",
         "docs/cluster.md",
+        "docs/loadgen.md",
     ):
         assert page in readme, f"README does not link {page}"
 
@@ -95,6 +97,7 @@ def test_runtime_and_serve_modules_name_their_docs():
         ("runtime", "docs/runtime.md"),
         ("serve", "docs/serving.md"),
         ("cluster", "docs/cluster.md"),
+        ("loadgen", "docs/loadgen.md"),
     ):
         for source in sorted((REPO_ROOT / "src" / "repro" / package).glob("*.py")):
             head = source.read_text(encoding="utf-8")
