@@ -7,6 +7,13 @@ from repro.core.accelerator import (
     PragmaticConfig,
 )
 from repro.core.dispatcher import DispatchStep, Dispatcher
+from repro.core.kernels import (
+    batched_drain_cycles,
+    drain_backend,
+    pack_bit_planes,
+    pack_drain_masks,
+    packed_essential_terms,
+)
 from repro.core.oneffset_generator import NeuronLaneState, OneffsetGenerator
 from repro.core.pip import PragmaticInnerProductUnit, PragmaticTileFunctional
 from repro.core.progress import ProgressToken, SweepCancelled
@@ -15,6 +22,7 @@ from repro.core.scheduling import (
     column_sync_cycles,
     essential_terms,
     pallet_sync_cycles,
+    ssr_pipeline_cycles,
     step_drain_cycles,
 )
 from repro.core.software import SoftwareGuidance
@@ -47,7 +55,13 @@ __all__ = [
     "step_drain_cycles",
     "pallet_sync_cycles",
     "column_sync_cycles",
+    "ssr_pipeline_cycles",
     "essential_terms",
+    "batched_drain_cycles",
+    "pack_drain_masks",
+    "pack_bit_planes",
+    "packed_essential_terms",
+    "drain_backend",
     "ProgressToken",
     "SweepCancelled",
     "sweep_network",

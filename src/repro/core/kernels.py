@@ -1,0 +1,302 @@
+"""Batched drain kernel: whole-array cycle computation for the sweep engine.
+
+The drain computation — how many cycles a PIP column needs to stream its
+neurons' oneffsets through the two-stage shifter — is the hot path of every
+sweep.  The original implementation (kept as
+:func:`repro.core.scheduling._reference_drain_cycles`) walks the schedule one
+cycle at a time over a boolean bit-plane tensor; this module replaces it with
+a packed formulation that the whole batch shares:
+
+* **Packed masks.**  Every column's 16 neuron magnitudes are stored as one
+  ``uint16`` bit mask per lane (``pack_drain_masks``), 16x denser than the
+  boolean bit-plane tensor, so one kernel call can hold *all* sampled pallets
+  and *all* drain groups of a layer at once.
+* **Closed-form fast path.**  A column whose set bits all fit inside one
+  first-stage window (``highest - lowest < reach``) never stalls: it finishes
+  in exactly its busiest lane's popcount.  This generalizes the full-reach
+  shortcut (``reach >= positions``) and resolves the large majority of
+  trimmed columns without any iteration.
+* **Batched frontier loop.**  The remaining slow columns of *every* drain
+  group advance together, one whole-array update per cycle, so the number of
+  Python-level iterations is bounded by the maximum drain depth across the
+  whole batch — not summed per group as the per-group loop was.
+
+:func:`batched_drain_cycles` evaluates many ``first_stage_bits`` reaches over
+one packed tensor in a single call (the per-column statistics are computed
+once and shared); :func:`repro.core.sweep.sweep_network` dispatches all of a
+layer's ``(first_stage_bits, software_trimming)`` drain groups through it.
+
+The results are **bit-identical** to the reference scheduler — the golden
+suite (``tests/test_core_kernels.py``) proves it against both
+``_reference_drain_cycles`` and :class:`~repro.core.accelerator.PragmaticAccelerator`,
+and ``docs/runtime.md`` documents the guarantee.
+
+An optional compiled backend for the frontier loop can be selected with
+``REPRO_DRAIN_BACKEND=numba``; when numba is not installed (or fails to
+compile) the kernel silently falls back to the numpy loop, and both backends
+produce identical cycle counts.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = [
+    "KERNEL_MAX_POSITIONS",
+    "pack_drain_masks",
+    "pack_bit_planes",
+    "batched_drain_cycles",
+    "packed_essential_terms",
+    "drain_backend",
+]
+
+#: Widest bit position the packed representation holds (``uint16`` masks).
+KERNEL_MAX_POSITIONS = 16
+
+#: Sentinel head value of an empty lane (no outstanding oneffsets).
+_EMPTY_HEAD = KERNEL_MAX_POSITIONS
+
+#: Environment variable selecting the frontier-loop backend.
+_BACKEND_ENV = "REPRO_DRAIN_BACKEND"
+
+# Lazily-built lookup tables over all 2**16 masks: trailing-zero position
+# (lowest set bit; 16 for mask 0), popcount, and highest set bit (-1 for 0).
+_TZ16: np.ndarray | None = None
+_POP16: np.ndarray | None = None
+_HB16: np.ndarray | None = None
+
+_NUMBA_FRONTIER = None
+_NUMBA_FAILED = False
+
+
+def _tables() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The (trailing-zero, popcount, highest-bit) tables, built once."""
+    global _TZ16, _POP16, _HB16
+    if _TZ16 is None:
+        n = np.arange(1 << KERNEL_MAX_POSITIONS, dtype=np.uint32)
+        tz = np.full(n.size, _EMPTY_HEAD, dtype=np.uint8)
+        hb = np.full(n.size, -1, dtype=np.int8)
+        pop = np.zeros(n.size, dtype=np.uint8)
+        for position in range(KERNEL_MAX_POSITIONS - 1, -1, -1):
+            set_here = ((n >> position) & 1).astype(bool)
+            tz[set_here] = position
+            pop += set_here
+        for position in range(KERNEL_MAX_POSITIONS):
+            hb[((n >> position) & 1).astype(bool)] = position
+        _TZ16, _POP16, _HB16 = tz, pop, hb
+    return _TZ16, _POP16, _HB16
+
+
+# --------------------------------------------------------------------- packing
+def pack_drain_masks(values: np.ndarray, storage_bits: int) -> np.ndarray:
+    """Pack integer neuron values into per-lane ``uint16`` bit masks.
+
+    ``values`` may have any shape; element ``[...]`` of the result holds the
+    magnitude bits of the corresponding neuron.  Raises :class:`ValueError`
+    when a magnitude does not fit in ``storage_bits`` (same contract as
+    :func:`repro.numerics.fixedpoint.bit_matrix`) or when ``storage_bits``
+    exceeds the packed width.
+    """
+    if not 1 <= storage_bits <= KERNEL_MAX_POSITIONS:
+        raise ValueError(
+            f"storage_bits must be in [1, {KERNEL_MAX_POSITIONS}], got {storage_bits}"
+        )
+    magnitudes = np.abs(np.asarray(values, dtype=np.int64))
+    limit = (1 << storage_bits) - 1
+    if magnitudes.size and int(magnitudes.max()) > limit:
+        raise ValueError(
+            f"magnitude {int(magnitudes.max())} does not fit in {storage_bits} bits "
+            f"(max {limit})"
+        )
+    return magnitudes.astype(np.uint16)
+
+
+def pack_bit_planes(bits: np.ndarray) -> np.ndarray:
+    """Pack a boolean bit-plane tensor ``(..., positions)`` into ``uint16`` masks."""
+    arr = np.asarray(bits, dtype=bool)
+    if arr.ndim < 1:
+        raise ValueError("bits must have at least a positions dimension")
+    positions = arr.shape[-1]
+    if positions > KERNEL_MAX_POSITIONS:
+        raise ValueError(
+            f"cannot pack {positions} bit positions into {KERNEL_MAX_POSITIONS}-bit masks"
+        )
+    weights = (np.int64(1) << np.arange(positions, dtype=np.int64))
+    return np.tensordot(arr.astype(np.int64), weights, axes=([-1], [0])).astype(np.uint16)
+
+
+def packed_essential_terms(masks: np.ndarray) -> float:
+    """Total essential-bit terms (set bits) of a packed mask tensor."""
+    _, pop, _ = _tables()
+    masks = np.asarray(masks, dtype=np.uint16)
+    return float(pop[masks].sum(dtype=np.int64))
+
+
+# -------------------------------------------------------------- frontier loops
+def _frontier_numpy(masks: np.ndarray, reach: np.ndarray) -> np.ndarray:
+    """Drain the slow columns with one whole-array update per cycle.
+
+    ``masks`` is ``uint16 [columns, lanes]`` (consumed by value — the caller
+    passes a private copy); ``reach`` is ``int16 [columns]``.  Returns the
+    per-column cycle counts.  Columns retire from the working set as they
+    drain, so late iterations touch only the deepest columns.
+    """
+    tz, _, _ = _tables()
+    out = np.zeros(masks.shape[0], dtype=np.int64)
+    cycles = np.zeros(masks.shape[0], dtype=np.int64)
+    index = np.arange(masks.shape[0])
+    reach = reach.astype(np.int16, copy=False)
+    while masks.size:
+        heads = tz[masks].astype(np.int16)
+        column_minimum = heads.min(axis=1)
+        eligible = (heads < _EMPTY_HEAD) & (
+            heads < (column_minimum + reach)[:, None]
+        )
+        masks = np.where(eligible, masks & (masks - np.uint16(1)), masks)
+        cycles += 1
+        alive = masks.any(axis=1)
+        if not alive.all():
+            finished = ~alive
+            out[index[finished]] = cycles[finished]
+            masks = masks[alive]
+            reach = reach[alive]
+            cycles = cycles[alive]
+            index = index[alive]
+    return out
+
+
+def _load_numba_frontier():
+    """JIT-compile the frontier loop with numba, or ``None`` when unavailable."""
+    global _NUMBA_FRONTIER, _NUMBA_FAILED
+    if _NUMBA_FRONTIER is not None:
+        return _NUMBA_FRONTIER
+    if _NUMBA_FAILED:
+        return None
+    try:
+        import numba
+
+        @numba.njit(cache=False)
+        def frontier(masks, reach):  # pragma: no cover - requires numba
+            rows, lanes = masks.shape
+            out = np.zeros(rows, dtype=np.int64)
+            for row in range(rows):
+                cycles = 0
+                while True:
+                    column_minimum = 64
+                    for lane in range(lanes):
+                        value = masks[row, lane]
+                        if value != 0:
+                            trailing = 0
+                            while value & 1 == 0:
+                                value >>= 1
+                                trailing += 1
+                            if trailing < column_minimum:
+                                column_minimum = trailing
+                    if column_minimum == 64:
+                        break
+                    limit = column_minimum + reach[row]
+                    for lane in range(lanes):
+                        value = masks[row, lane]
+                        if value != 0:
+                            trailing = 0
+                            while value & 1 == 0:
+                                value >>= 1
+                                trailing += 1
+                            if trailing < limit:
+                                masks[row, lane] &= masks[row, lane] - 1
+                    cycles += 1
+                out[row] = cycles
+            return out
+
+        def wrapper(masks: np.ndarray, reach: np.ndarray) -> np.ndarray:
+            return frontier(masks.astype(np.int64), reach.astype(np.int64))
+
+        # Compile eagerly on a trivial input so a broken toolchain falls back
+        # here instead of mid-sweep.
+        wrapper(np.array([[1]], dtype=np.uint16), np.array([1], dtype=np.int16))
+        _NUMBA_FRONTIER = wrapper
+        return wrapper
+    except Exception:
+        _NUMBA_FAILED = True
+        return None
+
+
+def drain_backend() -> str:
+    """The frontier-loop backend the next kernel call will use."""
+    if os.environ.get(_BACKEND_ENV, "").strip().lower() == "numba":
+        if _load_numba_frontier() is not None:
+            return "numba"
+    return "numpy"
+
+
+def _frontier(masks: np.ndarray, reach: np.ndarray) -> np.ndarray:
+    if drain_backend() == "numba":
+        return _NUMBA_FRONTIER(masks, reach)
+    return _frontier_numpy(masks, reach)
+
+
+# --------------------------------------------------------------------- kernel
+def batched_drain_cycles(masks: np.ndarray, reaches) -> np.ndarray:
+    """Drain cycles of every column under every first-stage reach, in one call.
+
+    Parameters
+    ----------
+    masks:
+        Packed neuron magnitudes shaped ``(..., lanes)`` — the lanes of one
+        PIP column along the last axis, any leading batch shape (the sweep
+        packs ``[pallets, steps, windows, neurons]``).
+    reaches:
+        Sequence of first-stage reaches (``2 ** first_stage_bits``, each at
+        least 1) to evaluate.  The per-column statistics (popcounts, bit
+        span) are computed once and shared by every reach.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int64`` cycle counts shaped ``(len(reaches), *masks.shape[:-1])``.
+        Columns with no set bits report zero cycles, exactly like the
+        reference scheduler.
+    """
+    masks = np.asarray(masks, dtype=np.uint16)
+    if masks.ndim < 1:
+        raise ValueError("masks must have at least a lanes dimension")
+    reaches = [int(reach) for reach in reaches]
+    if not reaches:
+        raise ValueError("reaches must not be empty")
+    if any(reach < 1 for reach in reaches):
+        raise ValueError("every reach must be at least 1")
+
+    tz, pop, hb = _tables()
+    *lead, lanes = masks.shape
+    flat = np.ascontiguousarray(masks.reshape(-1, lanes))
+    columns = flat.shape[0]
+    out = np.zeros((len(reaches), columns), dtype=np.int64)
+    if columns:
+        busiest = pop[flat].max(axis=1).astype(np.int64)
+        column_mask = np.bitwise_or.reduce(flat, axis=1)
+        # Bit span of the column; empty columns go deeply negative and are
+        # therefore always closed-form (zero busiest lanes -> zero cycles).
+        span = hb[column_mask].astype(np.int64) - tz[column_mask]
+        slow_sets: list[tuple[int, np.ndarray]] = []
+        for slot, reach in enumerate(reaches):
+            closed = span < reach
+            out[slot] = np.where(closed, busiest, 0)
+            slow = np.nonzero(~closed)[0]
+            if slow.size:
+                slow_sets.append((slot, slow))
+        if slow_sets:
+            rows = np.concatenate([slow for _, slow in slow_sets])
+            row_reach = np.concatenate(
+                [
+                    np.full(slow.size, reaches[slot], dtype=np.int16)
+                    for slot, slow in slow_sets
+                ]
+            )
+            cycles = _frontier(flat[rows], row_reach)
+            offset = 0
+            for slot, slow in slow_sets:
+                out[slot, slow] = cycles[offset : offset + slow.size]
+                offset += slow.size
+    return out.reshape((len(reaches), *lead))

@@ -10,25 +10,36 @@ Three questions determine Pragmatic's cycle count for a layer:
    maximum column drain over the pallet (:func:`pallet_sync_cycles`).
 3. Under **per-column synchronization** (Section V-E) columns advance
    independently, limited by the single SB port and by the number of synapse
-   set registers (SSRs); :func:`column_sync_cycles` models this with a small
-   dynamic program over brick steps.
+   set registers (SSRs); :func:`ssr_pipeline_cycles` is the single dynamic
+   program over brick steps that both :func:`column_sync_cycles` and the sweep
+   engine's ``cycles_from_drain`` schedule with.
 
 All functions accept integer neuron values shaped
 ``[pallets, steps, windows, neurons]`` (the layout produced by
-:func:`repro.arch.tiling.sample_pallet_values`).
+:func:`repro.arch.tiling.sample_pallet_values`).  Drain computation dispatches
+through the packed batch kernel of :mod:`repro.core.kernels`; the original
+cycle-by-cycle scheduler survives as :func:`_reference_drain_cycles`, the
+executable specification the kernel's golden tests compare against.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.numerics.fixedpoint import bit_matrix
+from repro.core.kernels import (
+    KERNEL_MAX_POSITIONS,
+    batched_drain_cycles,
+    pack_bit_planes,
+    pack_drain_masks,
+    packed_essential_terms,
+)
 
 __all__ = [
     "column_drain_cycles",
     "step_drain_cycles",
     "pallet_sync_cycles",
     "column_sync_cycles",
+    "ssr_pipeline_cycles",
     "essential_terms",
 ]
 
@@ -53,6 +64,36 @@ def column_drain_cycles(bits: np.ndarray, first_stage_bits: int) -> np.ndarray:
     numpy.ndarray
         Integer cycle counts with shape ``bits.shape[:-2]``.  Columns with no
         set bits report zero cycles; callers clamp to their minimum step cost.
+
+    The computation dispatches through the packed batch kernel
+    (:mod:`repro.core.kernels`); :func:`_reference_drain_cycles` keeps the
+    original cycle-by-cycle loop as the golden reference for tests.
+    """
+    arr = np.asarray(bits, dtype=bool)
+    if arr.ndim < 2:
+        raise ValueError("bits must have at least (lanes, positions) dimensions")
+    if first_stage_bits < 0:
+        raise ValueError("first_stage_bits must be non-negative")
+    positions = arr.shape[-1]
+    reach = 1 << first_stage_bits
+
+    if reach >= positions:
+        # Full-reach shifters never stall: a column finishes when its busiest
+        # lane has streamed all of its oneffsets.
+        return arr.sum(axis=-1).max(axis=-1)
+    if positions > KERNEL_MAX_POSITIONS:
+        # Wider-than-packable planes (e.g. 17-position CSD tensors) take the
+        # reference path; every storage format of the paper packs.
+        return _reference_drain_cycles(arr, first_stage_bits)
+    return batched_drain_cycles(pack_bit_planes(arr), (reach,))[0]
+
+
+def _reference_drain_cycles(bits: np.ndarray, first_stage_bits: int) -> np.ndarray:
+    """The pre-batch drain scheduler: one cycle per Python iteration, per call.
+
+    Kept verbatim as the executable specification the batched kernel is tested
+    against (golden suite + property tests); production paths use
+    :func:`column_drain_cycles`.
     """
     arr = np.asarray(bits, dtype=bool)
     if arr.ndim < 2:
@@ -63,8 +104,6 @@ def column_drain_cycles(bits: np.ndarray, first_stage_bits: int) -> np.ndarray:
     reach = 1 << first_stage_bits
 
     if reach >= positions:
-        # Full-reach shifters never stall: a column finishes when its busiest
-        # lane has streamed all of its oneffsets.
         return arr.sum(axis=-1).max(axis=-1)
 
     flat = arr.reshape(-1, lanes, positions).copy()
@@ -91,10 +130,15 @@ def step_drain_cycles(
     """Per-column drain cycles for integer neuron values.
 
     ``step_values`` has shape ``(..., windows, neurons)``; the result has shape
-    ``(..., windows)``.
+    ``(..., windows)``.  Values are packed once and dispatched through the
+    batch kernel.
     """
-    bits = bit_matrix(step_values, bits=storage_bits)
-    return column_drain_cycles(bits, first_stage_bits)
+    if first_stage_bits < 0:
+        raise ValueError("first_stage_bits must be non-negative")
+    masks = pack_drain_masks(step_values, storage_bits)
+    if masks.ndim < 1:
+        raise ValueError("step_values must have at least a neurons dimension")
+    return batched_drain_cycles(masks, (1 << first_stage_bits,))[0]
 
 
 def pallet_sync_cycles(
@@ -166,6 +210,25 @@ def column_sync_cycles(
     drain = np.maximum(
         step_drain_cycles(values, first_stage_bits, storage_bits), min_step_cycles
     )
+    return ssr_pipeline_cycles(drain, ssr_count, sb_read_cycles=sb_read_cycles)
+
+
+def ssr_pipeline_cycles(
+    drain: np.ndarray, ssr_count: int | None, sb_read_cycles: int = 1
+) -> np.ndarray:
+    """Per-pallet completion times of the SSR pipeline dynamic program.
+
+    ``drain`` holds the (already clamped) per-column drain cycles shaped
+    ``[pallets, steps, windows]``.  This is the single implementation of the
+    Section V-E schedule shared by :func:`column_sync_cycles` and
+    :func:`repro.core.sweep.cycles_from_drain` — the two call sites used to
+    duplicate it.
+    """
+    drain = np.asarray(drain)
+    if drain.ndim != 3:
+        raise ValueError(
+            f"drain must be shaped [pallets, steps, windows], got shape {drain.shape}"
+        )
     pallets, steps, windows = drain.shape
     registers = steps if ssr_count is None else min(ssr_count, steps)
 
@@ -173,7 +236,10 @@ def column_sync_cycles(
     load_previous = np.zeros(pallets, dtype=np.float64)
     copied: list[np.ndarray] = []
     for step in range(steps):
-        load = load_previous + sb_read_cycles if step else np.full(pallets, sb_read_cycles, dtype=np.float64)
+        if step:
+            load = load_previous + sb_read_cycles
+        else:
+            load = np.full(pallets, sb_read_cycles, dtype=np.float64)
         if step >= registers:
             load = np.maximum(load, copied[step - registers])
         start = np.maximum(finish, load[:, None])
@@ -185,8 +251,7 @@ def column_sync_cycles(
 
 def essential_terms(step_values: np.ndarray, storage_bits: int) -> float:
     """Total essential-bit terms contained in the sampled neuron values."""
-    bits = bit_matrix(step_values, bits=storage_bits)
-    return float(bits.sum())
+    return packed_essential_terms(pack_drain_masks(step_values, storage_bits))
 
 
 def _check_pallet_shape(step_values: np.ndarray) -> np.ndarray:

@@ -5,10 +5,14 @@ expensive part of the cycle simulation — computing per-column drain cycles fro
 the neuron bit planes — only depends on the first-stage shifter width and on
 whether software trimming is applied, not on the synchronization scheme or the
 SSR count.  :func:`sweep_network` therefore samples each layer's pallets once,
-computes drains once per ``(first_stage_bits, software_trimming)`` group and
-derives every requested configuration's cycle count from them, producing the
-same results as :class:`repro.core.accelerator.PragmaticAccelerator` at a
-fraction of the cost.
+plans every ``(first_stage_bits, software_trimming)`` drain group of the layer
+up front, and dispatches them through the batched drain kernel
+(:mod:`repro.core.kernels`): the trimmed neuron values are packed once per
+trimming flag and all first-stage reaches are evaluated over that packed
+tensor in one call.  Every requested configuration's cycle count is then
+derived from its group's drains, producing **bit-identical** results to
+:class:`repro.core.accelerator.PragmaticAccelerator` at a fraction of the cost
+(the golden suite in ``tests/test_core_kernels.py`` asserts exact equality).
 """
 
 from __future__ import annotations
@@ -21,8 +25,13 @@ from repro.arch.memory import NeuronMemory
 from repro.arch.tiling import SamplingConfig, sample_pallet_values
 from repro.baselines.dadiannao import DaDianNaoModel
 from repro.core.accelerator import LayerResult, NetworkResult, PragmaticConfig
+from repro.core.kernels import (
+    batched_drain_cycles,
+    pack_drain_masks,
+    packed_essential_terms,
+)
 from repro.core.progress import ProgressToken, SweepCancelled
-from repro.core.scheduling import essential_terms, step_drain_cycles
+from repro.core.scheduling import ssr_pipeline_cycles
 from repro.core.software import SoftwareGuidance
 from repro.nn.traces import NetworkTrace
 
@@ -71,24 +80,7 @@ def cycles_from_drain(
     clamped = np.maximum(drain, min_step_cycles)
     if config.synchronization == "pallet":
         return clamped.max(axis=2).sum(axis=1)
-
-    pallets, steps, windows = clamped.shape
-    registers = steps if config.ssr_count is None else min(config.ssr_count, steps)
-    finish = np.zeros((pallets, windows), dtype=np.float64)
-    load_previous = np.zeros(pallets, dtype=np.float64)
-    copied: list[np.ndarray] = []
-    for step in range(steps):
-        if step:
-            load = load_previous + sb_read_cycles
-        else:
-            load = np.full(pallets, sb_read_cycles, dtype=np.float64)
-        if step >= registers:
-            load = np.maximum(load, copied[step - registers])
-        start = np.maximum(finish, load[:, None])
-        finish = start + clamped[:, step, :]
-        copied.append(start.max(axis=1))
-        load_previous = load
-    return finish.max(axis=1)
+    return ssr_pipeline_cycles(clamped, config.ssr_count, sb_read_cycles=sb_read_cycles)
 
 
 @dataclass
@@ -161,22 +153,36 @@ def sweep_network(
         baseline_cycles = float(baseline.layer_cycles(layer))
         baseline_terms = float(baseline.layer_terms(layer, storage_bits))
 
-        groups: dict[tuple[int, bool], _DrainGroup] = {}
-        for label, config in configs.items():
+        # Plan every (first_stage_bits, software_trimming) drain group of the
+        # layer up front, then dispatch one batched kernel call per trimming
+        # flag: the packed masks and per-column statistics are shared by all
+        # first-stage reaches of that flag.
+        group_keys: list[tuple[int, bool]] = []
+        for config in configs.values():
             key = (config.first_stage_bits, config.software_trimming)
-            if key not in groups:
-                if progress is not None:
-                    progress.checkpoint()
-                guidance = SoftwareGuidance.from_trace(trace, enabled=config.software_trimming)
-                trimmed = guidance.apply(values, layer_index)
-                drain = step_drain_cycles(trimmed, config.first_stage_bits, storage_bits)
-                terms_per_neuron = essential_terms(trimmed, storage_bits) / max(1, trimmed.size)
-                if stats is not None:
-                    stats.drain_groups_computed += 1
+            if key not in group_keys:
+                group_keys.append(key)
+        groups: dict[tuple[int, bool], _DrainGroup] = {}
+        for trimming in dict.fromkeys(key[1] for key in group_keys):
+            if progress is not None:
+                progress.checkpoint()
+            flag_keys = [key for key in group_keys if key[1] == trimming]
+            guidance = SoftwareGuidance.from_trace(trace, enabled=trimming)
+            trimmed = guidance.apply(values, layer_index)
+            masks = pack_drain_masks(trimmed, storage_bits)
+            drains = batched_drain_cycles(
+                masks, [1 << bits for bits, _ in flag_keys]
+            )
+            terms_per_neuron = packed_essential_terms(masks) / max(1, trimmed.size)
+            if stats is not None:
+                stats.drain_groups_computed += len(flag_keys)
+            for slot, key in enumerate(flag_keys):
                 groups[key] = _DrainGroup(
-                    drain=drain, terms=terms_per_neuron * layer.macs
+                    drain=drains[slot], terms=terms_per_neuron * layer.macs
                 )
-            group = groups[key]
+
+        for label, config in configs.items():
+            group = groups[(config.first_stage_bits, config.software_trimming)]
             per_pallet = cycles_from_drain(group.drain, config, min_step)
             cycles = float(per_pallet.mean()) * total_pallets * passes
             per_config_layers[label].append(

@@ -3,13 +3,19 @@
 import numpy as np
 import pytest
 
+import repro.core.scheduling
+import repro.core.sweep
+from repro.core.accelerator import PragmaticConfig
 from repro.core.scheduling import (
+    _reference_drain_cycles,
     column_drain_cycles,
     column_sync_cycles,
     essential_terms,
     pallet_sync_cycles,
+    ssr_pipeline_cycles,
     step_drain_cycles,
 )
+from repro.core.sweep import cycles_from_drain
 from repro.numerics.encoding import schedule_cycle_count
 from repro.numerics.fixedpoint import bit_matrix, popcount
 from repro.numerics.oneffsets import encode_oneffsets
@@ -150,6 +156,80 @@ class TestColumnSync:
             column_sync_cycles(values, 2, 16, ssr_count=0)
         with pytest.raises(ValueError):
             column_sync_cycles(values, 2, 16, sb_read_cycles=0)
+
+
+class TestReferenceAgreement:
+    """column_drain_cycles (kernel path) against the reference scheduler."""
+
+    def test_agrees_with_reference_loop(self, rng):
+        values = rng.integers(0, 2**16, size=(60, 16))
+        values[rng.random(values.shape) < 0.5] = 0
+        bits = bit_matrix(values, bits=16)
+        for reach_bits in range(5):
+            np.testing.assert_array_equal(
+                column_drain_cycles(bits, reach_bits),
+                _reference_drain_cycles(bits, reach_bits),
+            )
+
+    def test_wide_planes_take_the_reference_path(self, rng):
+        # 17-position planes (the CSD extension's layout) exceed the packed
+        # kernel width; the public API must still answer, via the reference.
+        planes = rng.random((12, 16, 17)) < 0.25
+        for reach_bits in range(5):
+            np.testing.assert_array_equal(
+                column_drain_cycles(planes, reach_bits),
+                _reference_drain_cycles(planes, reach_bits),
+            )
+
+
+class TestSharedSsrPipeline:
+    """Both call sites must schedule through the one ssr_pipeline_cycles DP."""
+
+    def test_column_sync_equals_cycles_from_drain(self, rng):
+        values = random_step_values(rng, pallets=4)
+        for ssr in (1, 3, None):
+            config = PragmaticConfig(
+                first_stage_bits=2, synchronization="column", ssr_count=ssr
+            )
+            drain = step_drain_cycles(values, 2, 16)
+            np.testing.assert_array_equal(
+                cycles_from_drain(drain, config, min_step_cycles=1),
+                column_sync_cycles(values, 2, 16, ssr_count=ssr),
+            )
+
+    def test_both_call_sites_pin_the_shared_implementation(self, rng, monkeypatch):
+        calls = []
+
+        def spy(drain, ssr_count, sb_read_cycles=1):
+            calls.append(ssr_count)
+            return ssr_pipeline_cycles(drain, ssr_count, sb_read_cycles=sb_read_cycles)
+
+        monkeypatch.setattr(repro.core.scheduling, "ssr_pipeline_cycles", spy)
+        monkeypatch.setattr(repro.core.sweep, "ssr_pipeline_cycles", spy)
+        values = random_step_values(rng, pallets=2)
+        column_sync_cycles(values, 2, 16, ssr_count=3)
+        config = PragmaticConfig(
+            first_stage_bits=2, synchronization="column", ssr_count=5
+        )
+        cycles_from_drain(step_drain_cycles(values, 2, 16), config, min_step_cycles=1)
+        assert calls == [3, 5]
+
+    def test_pallet_config_bypasses_the_pipeline(self, rng, monkeypatch):
+        def bomb(*args, **kwargs):
+            raise AssertionError("pallet sync must not invoke the SSR pipeline")
+
+        monkeypatch.setattr(repro.core.sweep, "ssr_pipeline_cycles", bomb)
+        values = random_step_values(rng, pallets=2)
+        config = PragmaticConfig(first_stage_bits=2, synchronization="pallet")
+        drain = step_drain_cycles(values, 2, 16)
+        expected = np.maximum(drain, 1).max(axis=2).sum(axis=1)
+        np.testing.assert_array_equal(
+            cycles_from_drain(drain, config, min_step_cycles=1), expected
+        )
+
+    def test_rejects_non_pallet_shapes(self):
+        with pytest.raises(ValueError):
+            ssr_pipeline_cycles(np.zeros((3, 4)), ssr_count=1)
 
 
 class TestEssentialTerms:

@@ -11,6 +11,7 @@ different workloads.
 import asyncio
 import json
 import math
+import pathlib
 import random
 
 import pytest
@@ -82,6 +83,35 @@ class TestMixSpec:
     def test_from_file_missing(self, tmp_path):
         with pytest.raises(MixError, match="cannot read"):
             MixSpec.from_file(tmp_path / "absent.json")
+
+
+class TestCommittedMixes:
+    """Every mix spec checked into benchmarks/mixes must stay loadable."""
+
+    def mix_files(self):
+        mixes = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "mixes"
+        files = sorted(mixes.glob("*.json"))
+        assert files, "benchmarks/mixes must contain at least the soak mix"
+        return files
+
+    def test_all_committed_mixes_load_and_schedule(self):
+        for path in self.mix_files():
+            mix = MixSpec.from_file(path)
+            schedule = mix.schedule()
+            assert len(schedule) == mix.requests
+            assert schedule == MixSpec.from_file(path).schedule()
+
+    def test_sweep_soak_targets_the_sweep_engine(self):
+        path = next(p for p in self.mix_files() if p.name == "sweep_soak.json")
+        mix = MixSpec.from_file(path)
+        weights = dict(mix.experiments)
+        # The soak exists to hold the batched drain kernel under sustained
+        # sweep traffic: the sweep-heavy figures must dominate the mix.
+        sweep_heavy = weights.get("fig9", 0) + weights.get("fig10", 0) + \
+            weights.get("fig11", 0) + weights.get("table5", 0)
+        assert sweep_heavy > sum(weights.values()) / 2
+        assert dict(mix.presets) == {"fast": 1.0}
+        assert mix.requests >= 1000
 
 
 class TestSchedule:

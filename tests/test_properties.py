@@ -4,8 +4,14 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.kernels import batched_drain_cycles, pack_drain_masks
 from repro.core.pip import PragmaticInnerProductUnit
-from repro.core.scheduling import column_drain_cycles, column_sync_cycles, pallet_sync_cycles
+from repro.core.scheduling import (
+    _reference_drain_cycles,
+    column_drain_cycles,
+    column_sync_cycles,
+    pallet_sync_cycles,
+)
 from repro.nn.precision import LayerPrecision
 from repro.numerics.encoding import schedule_cycle_count, serial_term_schedule, two_stage_decompose
 from repro.numerics.fixedpoint import FixedPointFormat, bit_matrix, popcount
@@ -120,6 +126,50 @@ class TestSchedulingProperties:
         assert np.all(one_reg + 1e-9 >= ideal)
         assert np.all(pallet >= steps)
         assert np.all(pallet <= steps * 16)
+
+
+columns_strategy = st.lists(
+    st.lists(uint16, min_size=1, max_size=16), min_size=1, max_size=8
+).map(lambda cols: [col + [0] * (len(max(cols, key=len)) - len(col)) for col in cols])
+
+
+class TestDrainKernelProperties:
+    """Invariants of the batched drain kernel (repro.core.kernels)."""
+
+    @given(columns_strategy, first_stage)
+    def test_batched_kernel_matches_reference_loop(self, columns, bits):
+        values = np.array(columns)
+        batched = batched_drain_cycles(pack_drain_masks(values, 16), (1 << bits,))[0]
+        reference = _reference_drain_cycles(bit_matrix(values, bits=16), bits)
+        np.testing.assert_array_equal(batched, reference)
+
+    @given(columns_strategy)
+    def test_full_reach_equals_busiest_lane_popcount(self, columns):
+        values = np.array(columns)
+        busiest = popcount(values, 16).max(axis=-1)
+        full = batched_drain_cycles(pack_drain_masks(values, 16), (16,))[0]
+        np.testing.assert_array_equal(full, busiest)
+
+    @given(columns_strategy)
+    def test_cycles_monotone_non_increasing_in_first_stage_bits(self, columns):
+        masks = pack_drain_masks(np.array(columns), 16)
+        ladder = batched_drain_cycles(masks, [1 << bits for bits in range(5)])
+        for narrow, wide in zip(ladder, ladder[1:]):
+            assert np.all(wide <= narrow)
+
+    @given(columns_strategy, first_stage, st.integers(min_value=0, max_value=10**6))
+    def test_lane_permutation_invariance(self, columns, bits, seed):
+        values = np.array(columns)
+        permuted = values[:, np.random.default_rng(seed).permutation(values.shape[1])]
+        np.testing.assert_array_equal(
+            batched_drain_cycles(pack_drain_masks(values, 16), (1 << bits,)),
+            batched_drain_cycles(pack_drain_masks(permuted, 16), (1 << bits,)),
+        )
+
+    @given(st.integers(1, 16), st.integers(1, 8), first_stage)
+    def test_zero_columns_cost_zero_cycles(self, lanes, columns, bits):
+        masks = np.zeros((columns, lanes), dtype=np.uint16)
+        assert not batched_drain_cycles(masks, (1 << bits,)).any()
 
 
 class TestPipProperties:

@@ -1136,16 +1136,28 @@ class TestFrontEnds:
                 server = await service.serve_tcp("127.0.0.1", 0)
                 port = server.sockets[0].getsockname()[1]
                 async with server:
+                    # Pin the only worker with a long multi-experiment job so
+                    # the client's request is still queued when its connection
+                    # dies (single experiments finish too fast to race against).
+                    running = asyncio.Event()
+                    blocker = await service.submit(
+                        parse_request(
+                            {"op": "run_all", "preset": "fast", "overrides": TINY2}
+                        ),
+                        on_event=lambda t, e: running.set() if e == "running" else None,
+                    )
+                    await asyncio.wait_for(running.wait(), timeout=30)
                     client = await ServeClient.connect("127.0.0.1", port)
                     waiter = asyncio.create_task(
                         client.run_experiment("fig9", preset="fast", overrides=TINY)
                     )
-                    await asyncio.sleep(0.1)  # request in flight
+                    await asyncio.sleep(0.1)  # request in flight (queued)
                     server.close()  # kill the transport under the client
                     client._writer.transport.abort()
                     response = await asyncio.wait_for(waiter, timeout=10)
                     assert not response.ok
                     assert response.error == "connection closed"
                     await client.close()
+                    service.cancel(blocker.ticket_id)
 
         run(scenario())
