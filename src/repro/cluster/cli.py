@@ -58,6 +58,8 @@ async def _run_batch(args) -> int:
         cache_dir=args.cache_dir,
         worker_processes=args.worker_processes,
         worker_token=args.worker_token,
+        trace_dir=args.trace_dir,
+        no_trace_cache=args.no_trace_cache,
     )
     if args.run == "all":
         request = RunAllRequest(preset=args.preset, seed=args.seed)
@@ -68,6 +70,7 @@ async def _run_batch(args) -> int:
     async with service:
         ticket = await service.submit(request)
         response = await service.wait(ticket)
+        fleet = (await service.cluster_stats())["cluster"]["fleet"]
     if response["event"] != "done":
         return _fail(f"batch request failed: {response.get('error')}")
     stats = response["stats"]
@@ -87,6 +90,12 @@ async def _run_batch(args) -> int:
         f"{stats['cache']['stores']} stores; "
         f"simulated {simulated} configs; "
         f"traces {stats['traces_built']} built / {stats['traces_reused']} reused"
+    )
+    print(
+        f"fleet fabric: {fleet['trace_calibrations_computed']} calibrations, "
+        f"{fleet['trace_tensors_built']} tensor builds, "
+        f"{fleet['traces_mapped']} mmaps "
+        f"({fleet['trace_bytes_shared']} bytes shared)"
     )
     if requeued == 0 and simulated != planned:
         return _fail(
@@ -134,6 +143,46 @@ async def _selftest_warm_rerun(client) -> int:
         )
         return 1
     print("selftest ok: warm rerun reported simulated 0 configs cluster-wide")
+    return 0
+
+
+async def _selftest_trace_fabric(service, client) -> int:
+    """Across 2 workers, every trace artifact was materialized exactly once.
+
+    The zero-copy trace fabric keys artifacts by content, and rendezvous
+    routing sends each network's jobs to one worker — so summed over the
+    fleet, calibrations computed (and tensors built) must equal the artifact
+    count on disk: nothing was recomputed by the sibling worker, which
+    loaded/mapped instead.  Runs after the cold + warm checks and before the
+    worker-kill check (a killed worker's counters are unqueryable).
+    """
+    from repro.runtime import TraceArtifactStore
+
+    payload = await service.cluster_stats()
+    fleet = payload["cluster"]["fleet"]
+    trace_dir = payload["cluster"]["trace_dir"]
+    usage = TraceArtifactStore(trace_dir).usage()
+    computed = fleet["trace_calibrations_computed"]
+    built = fleet["trace_tensors_built"]
+    if usage["calibrations"] == 0:
+        print("selftest: no calibration artifacts materialized", file=sys.stderr)
+        return 1
+    if computed != usage["calibrations"] or built != usage["tensors"]:
+        print(
+            f"selftest: trace fabric built-once violated: fleet computed "
+            f"{computed} calibrations / built {built} tensors for "
+            f"{usage['calibrations']} calibration / {usage['tensors']} tensor "
+            f"artifact(s) on disk",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"selftest ok: {usage['calibrations'] + usage['tensors']} trace "
+        f"artifact(s) each materialized exactly once across "
+        f"{len(service.links)} workers "
+        f"(fleet: {computed} calibrations computed, "
+        f"{fleet['trace_calibrations_loaded']} loaded)"
+    )
     return 0
 
 
@@ -233,6 +282,8 @@ async def _selftest(args) -> int:
         cache_dir=args.cache_dir,
         worker_processes=args.worker_processes,
         worker_token=args.worker_token,
+        trace_dir=args.trace_dir,
+        no_trace_cache=args.no_trace_cache,
     )
     async with service:
         server = await service.serve_tcp("127.0.0.1", 0)
@@ -245,6 +296,7 @@ async def _selftest(args) -> int:
                 for check in (
                     lambda: _selftest_sharded_run(service, client),
                     lambda: _selftest_warm_rerun(client),
+                    lambda: _selftest_trace_fabric(service, client),
                     lambda: _selftest_worker_kill(service, client),
                     lambda: _selftest_cancellation(service, client),
                 ):
@@ -317,6 +369,18 @@ def main(argv: list[str] | None = None) -> int:
         "temporary directory, removed on exit)",
     )
     parser.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="trace-fabric artifact directory every worker shares "
+        "(default: <cache-dir>/traces)",
+    )
+    parser.add_argument(
+        "--no-trace-cache",
+        action="store_true",
+        help="disable the zero-copy trace fabric on every worker",
+    )
+    parser.add_argument(
         "--worker-token",
         default=None,
         metavar="TOKEN",
@@ -363,6 +427,8 @@ def main(argv: list[str] | None = None) -> int:
             worker_processes=args.worker_processes,
             worker_token=args.worker_token,
             auth_token=args.auth_token,
+            trace_dir=args.trace_dir,
+            no_trace_cache=args.no_trace_cache,
         )
 
         async def run_tcp(host: str, port: int) -> None:

@@ -45,6 +45,7 @@ from pathlib import Path
 from repro.core.progress import SweepCancelled
 from repro.runtime import RunStats
 from repro.runtime.jobs import build_plan
+from repro.runtime.session import resolve_trace_dir
 from repro.serve.client import ServeClient
 from repro.serve.protocol import (
     ExperimentRequest,
@@ -219,6 +220,12 @@ class ClusterService(ExperimentService):
     auth_token:
         Optional client-facing shared secret (same semantics as
         ``repro serve --auth-token``).
+    trace_dir / no_trace_cache:
+        Trace-fabric wiring forwarded to every spawned worker (and the
+        coordinator's own planning session).  The default — a ``traces/``
+        directory beside the shared cache — is what makes N workers on one
+        host materialize each trace tensor exactly once and map it
+        read-only (``docs/cluster.md``).
     """
 
     def __init__(
@@ -230,6 +237,8 @@ class ClusterService(ExperimentService):
         concurrent_requests: int = 4,
         worker_token: str | None = None,
         auth_token: str | None = None,
+        trace_dir: str | Path | None = None,
+        no_trace_cache: bool = False,
     ) -> None:
         if spawn_workers < 0:
             raise ValueError("spawn_workers must be non-negative")
@@ -243,12 +252,16 @@ class ClusterService(ExperimentService):
         from repro.cluster.worker import worker_session
 
         super().__init__(
-            session=worker_session(cache_dir),
+            session=worker_session(
+                cache_dir, trace_dir=trace_dir, no_trace_cache=no_trace_cache
+            ),
             workers=concurrent_requests,
             auth_token=auth_token,
         )
         self.pool.executor = self._execute_cluster
         self.cache_dir = Path(cache_dir)
+        self.trace_dir = trace_dir
+        self.no_trace_cache = no_trace_cache
         self.spawn_workers = spawn_workers
         self.connect_endpoints = list(connect or [])
         self.worker_processes = worker_processes
@@ -300,7 +313,7 @@ class ClusterService(ExperimentService):
         """Start one local worker process and complete the handshake."""
         env = dict(os.environ)
         env["REPRO_SERVE_TOKEN"] = self.worker_token
-        process = await asyncio.create_subprocess_exec(
+        argv = [
             sys.executable,
             "-m",
             "repro",
@@ -312,6 +325,13 @@ class ClusterService(ExperimentService):
             str(self.cache_dir),
             "--workers",
             str(self.worker_processes),
+        ]
+        if self.no_trace_cache:
+            argv.append("--no-trace-cache")
+        elif self.trace_dir is not None:
+            argv.extend(["--trace-dir", str(self.trace_dir)])
+        process = await asyncio.create_subprocess_exec(
+            *argv,
             env=env,
             stdout=asyncio.subprocess.PIPE,
             stderr=asyncio.subprocess.DEVNULL,
@@ -690,6 +710,11 @@ class ClusterService(ExperimentService):
             "flights_inflight": len(self._flights),
             "workers_lost": sum(1 for link in self.links.values() if not link.alive),
             "cache_dir": str(self.cache_dir),
+            "trace_dir": str(
+                resolve_trace_dir(self.cache_dir, self.trace_dir, self.no_trace_cache)
+            )
+            if not self.no_trace_cache
+            else None,
             # Cluster-wide coalescing effectiveness: the queue-level section
             # (payload["coalescing"]) counts client tickets per client job;
             # this one counts planned jobs per executed flight.

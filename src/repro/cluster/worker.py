@@ -44,12 +44,31 @@ from repro.cluster.plan import (
 __all__ = ["WorkerService", "execute_worker_request", "worker_session"]
 
 
-def worker_session(cache_dir: str | Path | None) -> RuntimeSession:
-    """A session whose cache is safe to share with sibling worker processes."""
+def worker_session(
+    cache_dir: str | Path | None,
+    trace_dir: str | Path | None = None,
+    no_trace_cache: bool = False,
+) -> RuntimeSession:
+    """A session whose cache is safe to share with sibling worker processes.
+
+    The trace store is wired through the zero-copy trace fabric
+    (:mod:`repro.runtime.trace_cache`) against the same resolution rule as
+    :func:`~repro.runtime.session.configure_session` — by default a
+    ``traces/`` directory beside the shared cache, so every worker on the
+    host maps one physical copy of each trace tensor.
+    """
+    from repro.runtime.session import resolve_trace_dir
+
+    resolved = resolve_trace_dir(cache_dir, trace_dir, no_trace_cache)
+    traces = None
+    if resolved is not None:
+        from repro.runtime import TraceArtifactStore, TraceStore
+
+        traces = TraceStore(artifacts=TraceArtifactStore(resolved))
     if cache_dir is None:
-        return RuntimeSession(cache=ResultCache())
+        return RuntimeSession(cache=ResultCache(), traces=traces)
     return RuntimeSession(
-        cache=ResultCache(backend=SharedDirectoryBackend(cache_dir))
+        cache=ResultCache(backend=SharedDirectoryBackend(cache_dir)), traces=traces
     )
 
 

@@ -62,6 +62,9 @@ class LoadReport:
     workers: int | None = None
     per_worker: list[dict] = field(default_factory=list)
     cluster_coalescing: dict | None = None
+    #: Zero-copy trace fabric counters (builds vs mmap opens vs reuses and
+    #: artifact bytes shared) — fleet-merged against a cluster coordinator.
+    trace_fabric: dict | None = None
 
     # ------------------------------------------------------------------ derived
     @property
@@ -114,6 +117,8 @@ class LoadReport:
         }
         if self.cluster_coalescing is not None:
             payload["cluster_coalescing"] = self.cluster_coalescing
+        if self.trace_fabric is not None:
+            payload["trace_fabric"] = self.trace_fabric
         return payload
 
     def to_json(self) -> str:
@@ -154,6 +159,17 @@ class LoadReport:
                 f"  flights    {self.cluster_coalescing.get('flights_executed', 0)} executed, "
                 f"{self.cluster_coalescing.get('flights_coalesced', 0)} coalesced "
                 f"(hit rate {self.cluster_coalescing.get('hit_rate', 0.0):.1%})"
+            )
+        if self.trace_fabric:
+            fabric = self.trace_fabric
+            lines.append(
+                f"  traces     {fabric.get('traces_built', 0)} built / "
+                f"{fabric.get('traces_reused', 0)} reused; fabric "
+                f"{fabric.get('tensors_built', 0)} tensor builds / "
+                f"{fabric.get('mmap_opens', 0)} mmap opens "
+                f"({fabric.get('bytes_shared', 0)} bytes shared), "
+                f"{fabric.get('calibrations_computed', 0)} calibrations computed / "
+                f"{fabric.get('calibrations_loaded', 0)} loaded"
             )
         if self.utilization is not None:
             lines.append(

@@ -31,6 +31,24 @@ __all__ = ["LoadSwarm"]
 REQUEST_TIMEOUT = 300.0
 
 
+def _trace_fabric_section(stats: dict) -> dict:
+    """The trace-fabric block of a report, from one ``RunStats`` wire dict.
+
+    Distinguishes the three ways a request got its trace data: built in
+    process, opened as a read-only mmap of a host-shared artifact, or reused
+    from the session's in-memory store.
+    """
+    return {
+        "traces_built": stats.get("traces_built", 0),
+        "traces_reused": stats.get("traces_reused", 0),
+        "tensors_built": stats.get("trace_tensors_built", 0),
+        "mmap_opens": stats.get("traces_mapped", 0),
+        "bytes_shared": stats.get("trace_bytes_shared", 0),
+        "calibrations_computed": stats.get("trace_calibrations_computed", 0),
+        "calibrations_loaded": stats.get("trace_calibrations_loaded", 0),
+    }
+
+
 class LoadSwarm:
     """Replay one :class:`MixSpec` schedule against a serve-protocol endpoint."""
 
@@ -173,9 +191,14 @@ class LoadSwarm:
         report.server_coalescing = stats.get("coalescing", {})
         report.server_queue = stats.get("queue", {})
         report.workers = stats.get("workers")
+        report.trace_fabric = _trace_fabric_section(stats.get("stats", {}))
         cluster = stats.get("cluster")
         if cluster:
             report.cluster_coalescing = cluster.get("coalescing")
+            if cluster.get("fleet"):
+                # Fabric work happens on the workers; the coordinator's own
+                # counters are zero, so report the fleet-merged view.
+                report.trace_fabric = _trace_fabric_section(cluster["fleet"])
             report.per_worker = [
                 {
                     "worker": entry.get("worker"),

@@ -19,6 +19,7 @@ inputs the evaluation needs.  The substitution is documented in DESIGN.md §4.
 
 from __future__ import annotations
 
+import collections
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -28,8 +29,10 @@ from repro.nn.networks import Network
 from repro.nn.precision import LayerPrecision
 
 __all__ = [
+    "FULL_CACHE_ENTRIES",
     "LayerTraceParams",
     "NetworkTrace",
+    "TraceBacking",
     "generate_layer_values",
     "generate_synapses",
 ]
@@ -37,6 +40,12 @@ __all__ = [
 
 #: Magnitude distributions the trace generator supports.
 DISTRIBUTIONS = ("lognormal", "half_normal", "uniform")
+
+#: Bound on :attr:`NetworkTrace._full_cache` (``cache=True`` tensors kept per
+#: trace).  Full layer tensors are large (tens of MB for early VGG layers);
+#: an unbounded per-trace dict silently grows RSS in long-lived processes, so
+#: only the most recently used few stay resident.
+FULL_CACHE_ENTRIES = 4
 
 #: Default lognormal shape (log-space standard deviation).  Real post-ReLU
 #: activation magnitudes are heavy tailed; this shape, combined with the
@@ -132,6 +141,26 @@ def generate_synapses(
     return rng.integers(-limit, limit, size=shape, dtype=np.int64)
 
 
+class TraceBacking:
+    """The pluggable seam behind :meth:`NetworkTrace.layer_input`.
+
+    A backing resolves full layer tensors from somewhere other than the
+    on-demand generator — the zero-copy trace fabric
+    (:mod:`repro.runtime.trace_cache`) returns read-only ``np.memmap`` views
+    of content-addressed ``.npy`` artifacts, so every process on a host
+    shares one physical copy.  Returning ``None`` falls back to on-demand
+    generation; because artifacts are keyed by a content hash of the spec and
+    the trace-generating code, a backed tensor is bit-identical to a
+    generated one by construction (and proven so by the fabric's golden
+    tests).
+    """
+
+    def layer_tensor(
+        self, trace: "NetworkTrace", layer_index: int
+    ) -> np.ndarray | None:  # pragma: no cover - interface default
+        return None
+
+
 @dataclass
 class NetworkTrace:
     """Per-layer synthetic activation streams for one network.
@@ -159,7 +188,14 @@ class NetworkTrace:
     params: tuple[LayerTraceParams, ...]
     seed: int = 0
     storage_bits: int = 16
-    _full_cache: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+    #: Small LRU of ``cache=True`` tensors (bounded by FULL_CACHE_ENTRIES);
+    #: underscore-prefixed fields are excluded from fingerprints and equality.
+    _full_cache: "collections.OrderedDict[int, np.ndarray]" = field(
+        default_factory=collections.OrderedDict, repr=False, compare=False
+    )
+    #: Optional :class:`TraceBacking` resolving tensors through the trace
+    #: fabric; ``None`` keeps the pure generate-on-demand path.
+    _backing: "TraceBacking | None" = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         expected = self.network.num_layers
@@ -186,21 +222,52 @@ class NetworkTrace:
         """The trace distribution parameters of the layer at ``layer_index``."""
         return self.params[layer_index]
 
+    # ----------------------------------------------------------------- backing
+    def attach_backing(self, backing: "TraceBacking | None") -> None:
+        """Install (or remove) the tensor backing this trace resolves through."""
+        self._backing = backing
+
+    @property
+    def backing(self) -> "TraceBacking | None":
+        return self._backing
+
     # ------------------------------------------------------------------ values
     def layer_input(self, layer_index: int, cache: bool = False) -> np.ndarray:
         """Full synthetic input tensor ``[I, Ny, Nx]`` for the layer.
 
-        ``cache=True`` keeps the tensor for repeat use (functional tests on
-        small layers); large tensors are regenerated on demand by default.
+        Resolution order: the per-trace LRU of ``cache=True`` tensors, then
+        the attached :class:`TraceBacking` (read-only shared mmap), then
+        on-demand generation.  ``cache=True`` keeps the returned tensor for
+        repeat use (bounded by ``FULL_CACHE_ENTRIES``); large tensors are
+        otherwise resolved fresh per call.
         """
-        if layer_index in self._full_cache:
-            return self._full_cache[layer_index]
-        layer = self.layer(layer_index)
-        shape = (layer.input_channels, layer.input_height, layer.input_width)
-        values = generate_layer_values(shape, self.layer_params(layer_index), self._rng(layer_index))
+        cached = self._full_cache.get(layer_index)
+        if cached is not None:
+            self._full_cache.move_to_end(layer_index)
+            return cached
+        values = None
+        if self._backing is not None:
+            values = self._backing.layer_tensor(self, layer_index)
+        if values is None:
+            values = self.generate_layer_input(layer_index)
         if cache:
             self._full_cache[layer_index] = values
+            while len(self._full_cache) > FULL_CACHE_ENTRIES:
+                self._full_cache.popitem(last=False)
         return values
+
+    def generate_layer_input(self, layer_index: int) -> np.ndarray:
+        """Generate the layer's full tensor on demand (no cache, no backing).
+
+        This is the ground truth the fabric materializes from: the backing's
+        builder calls it exactly once per ``(spec, layer)`` per host, and the
+        golden tests assert the mmap path returns arrays exactly equal to it.
+        """
+        layer = self.layer(layer_index)
+        shape = (layer.input_channels, layer.input_height, layer.input_width)
+        return generate_layer_values(
+            shape, self.layer_params(layer_index), self._rng(layer_index)
+        )
 
     def sample_layer_values(self, layer_index: int, count: int) -> np.ndarray:
         """Draw ``count`` i.i.d. neuron values from the layer's distribution.

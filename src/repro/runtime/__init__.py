@@ -15,6 +15,7 @@ Layering::
     lifecycle     manifest index, gzip entry codec, LRU garbage collection
     backends      pluggable storage (memory / filesystem / shared directory)
     cache         content-addressed result cache (policy over one backend)
+    trace_cache   the zero-copy trace fabric: mmap-backed tensor artifacts
     trace_store   TraceSpec + per-session calibrated-trace store
     session       RuntimeSession (cache + traces + stats) and the active session
     engine        simulate()/analyze(): cached execution against the session
@@ -41,6 +42,7 @@ from repro.runtime.fingerprint import (
     fingerprint,
     simulation_key,
     statistics_key,
+    trace_tensor_key,
 )
 from repro.runtime.jobs import (
     ExperimentJob,
@@ -59,7 +61,13 @@ from repro.runtime.session import (
     current_session,
     default_cache_dir,
     isolated_session,
+    resolve_trace_dir,
     use_session,
+)
+from repro.runtime.trace_cache import (
+    MmapTraceBacking,
+    TraceArtifactStore,
+    default_trace_dir,
 )
 from repro.runtime.trace_store import TraceSpec, TraceStore
 
@@ -98,6 +106,11 @@ __all__ = [
     "current_session",
     "isolated_session",
     "use_session",
+    "resolve_trace_dir",
+    "MmapTraceBacking",
+    "TraceArtifactStore",
+    "default_trace_dir",
+    "trace_tensor_key",
     "TraceSpec",
     "TraceStore",
 ]

@@ -31,8 +31,11 @@ __all__ = [
     "fingerprint",
     "code_fingerprint",
     "statistics_code_fingerprint",
+    "trace_code_fingerprint",
     "simulation_key",
     "statistics_key",
+    "trace_tensor_key",
+    "calibration_key",
 ]
 
 #: Bump to invalidate every existing cache entry on a schema change.
@@ -45,6 +48,12 @@ _CODE_PACKAGES = ("core", "nn", "arch", "baselines", "numerics")
 #: Statistics passes additionally execute the analysis helpers, so their keys
 #: must also be invalidated by ``analysis`` edits.
 _STATISTICS_PACKAGES = _CODE_PACKAGES + ("analysis",)
+
+#: Trace artifacts (the zero-copy trace fabric) depend only on the packages
+#: that determine trace *values*: the generator/calibration code in ``nn`` and
+#: the bit-level helpers in ``numerics``.  Editing ``arch`` or ``baselines``
+#: invalidates simulations but keeps materialized trace tensors valid.
+_TRACE_PACKAGES = ("nn", "numerics")
 
 
 def canonicalize(obj: object) -> object:
@@ -108,6 +117,62 @@ def statistics_code_fingerprint() -> str:
     simulations valid).
     """
     return _package_fingerprint(_STATISTICS_PACKAGES)
+
+
+def trace_code_fingerprint() -> str:
+    """Fingerprint of the source that determines trace values.
+
+    The invalidation rule of the trace fabric (``docs/runtime.md``): a
+    materialized trace artifact stays valid until the ``nn`` or ``numerics``
+    source changes, exactly as a cached simulation stays valid until the
+    simulation source changes.
+    """
+    return _package_fingerprint(_TRACE_PACKAGES)
+
+
+def trace_tensor_key(trace_spec: object, layer_index: int) -> str:
+    """Content hash of one ``(TraceSpec, layer)`` tensor artifact.
+
+    Keys the ``.npy`` artifacts of :class:`repro.runtime.trace_cache.TraceArtifactStore`:
+    same spec + same layer + same trace-generating code ⇒ same bytes, so one
+    artifact serves every worker process on the host.
+    """
+    return fingerprint(
+        {
+            "kind": "trace_tensor",
+            "code": trace_code_fingerprint(),
+            "trace": canonicalize(trace_spec),
+            "layer": layer_index,
+        }
+    )
+
+
+def calibration_key(
+    network: str,
+    representation: str,
+    suffix_bits: int,
+    samples_per_layer: int,
+    seed: int,
+    dense_first_layer: bool,
+) -> str:
+    """Cache key of one persisted :class:`~repro.nn.calibration.NetworkCalibration`.
+
+    Covers every argument of :func:`repro.nn.calibration.calibrate_network`
+    plus the trace code fingerprint, so a persisted calibration is exactly as
+    valid as the bisection it replaces.
+    """
+    return fingerprint(
+        {
+            "kind": "trace_calibration",
+            "code": trace_code_fingerprint(),
+            "network": network,
+            "representation": representation,
+            "suffix_bits": suffix_bits,
+            "samples_per_layer": samples_per_layer,
+            "seed": seed,
+            "dense_first_layer": dense_first_layer,
+        }
+    )
 
 
 def simulation_key(trace_spec: object, sampling: object, config: object) -> str:

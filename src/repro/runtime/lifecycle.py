@@ -46,12 +46,14 @@ from pathlib import Path
 __all__ = [
     "COMPRESSED_SUFFIX",
     "LEGACY_SUFFIX",
+    "TENSOR_SUFFIX",
     "MANIFEST_NAME",
     "CacheManifest",
     "GCResult",
     "entry_path",
     "find_entry",
     "read_entry",
+    "tensor_path",
     "write_entry",
 ]
 
@@ -60,6 +62,12 @@ COMPRESSED_SUFFIX = ".json.gz"
 
 #: Uncompressed entries written before the format change; still readable.
 LEGACY_SUFFIX = ".json"
+
+#: Raw numpy tensor artifacts (the trace fabric,
+#: :mod:`repro.runtime.trace_cache`).  Deliberately *not* gzip-wrapped: the
+#: whole point of the format is that ``np.load(..., mmap_mode="r")`` maps the
+#: file read-only without copying it, so N processes share one physical copy.
+TENSOR_SUFFIX = ".npy"
 
 #: Index file inside the cache directory (never itself a cache entry).
 MANIFEST_NAME = "manifest.json"
@@ -89,14 +97,20 @@ def legacy_path(directory: Path, key: str) -> Path:
     return directory / f"{key}{LEGACY_SUFFIX}"
 
 
+def tensor_path(directory: Path, key: str) -> Path:
+    """Where a raw ``.npy`` tensor artifact for ``key`` lives."""
+    return directory / f"{key}{TENSOR_SUFFIX}"
+
+
 def find_entry(directory: Path, key: str) -> Path | None:
     """The existing on-disk file of ``key`` (compressed preferred), or ``None``."""
-    path = entry_path(directory, key)
-    if path.exists():
-        return path
-    path = legacy_path(directory, key)
-    if path.exists():
-        return path
+    for path in (
+        entry_path(directory, key),
+        legacy_path(directory, key),
+        tensor_path(directory, key),
+    ):
+        if path.exists():
+            return path
     return None
 
 
@@ -148,8 +162,17 @@ def write_entry(directory: Path, key: str, entry: dict) -> int:
 
 
 def _remove_entry_files(directory: Path, key: str) -> None:
-    """Delete every on-disk form of ``key`` (best effort)."""
-    for path in (entry_path(directory, key), legacy_path(directory, key)):
+    """Delete every on-disk form of ``key`` (best effort).
+
+    Unlinking a ``.npy`` a live process has mapped is safe on POSIX — the
+    inode (and the mapping) survives until the last reader unmaps it; only
+    the name disappears, and the next fetch re-materializes the artifact.
+    """
+    for path in (
+        entry_path(directory, key),
+        legacy_path(directory, key),
+        tensor_path(directory, key),
+    ):
         try:
             path.unlink()
         except OSError:
@@ -240,6 +263,8 @@ class CacheManifest:
                 key = name[: -len(COMPRESSED_SUFFIX)]
             elif name.endswith(LEGACY_SUFFIX):
                 key = name[: -len(LEGACY_SUFFIX)]
+            elif name.endswith(TENSOR_SUFFIX):
+                key = name[: -len(TENSOR_SUFFIX)]
             else:
                 continue
             try:

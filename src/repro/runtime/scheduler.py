@@ -45,8 +45,10 @@ from repro.runtime.session import (
     ResultCache,
     configure_session,
     current_session,
+    resolve_trace_dir,
     use_session,
 )
+from repro.runtime.trace_store import TraceStore
 
 __all__ = ["RunReport", "run_experiments"]
 
@@ -68,6 +70,7 @@ class RunReport:
     statistics_jobs: int = 0
     cache_entries: int = 0
     cache_disk_bytes: int = 0
+    trace_dir: str | None = None
 
     def summary(self) -> str:
         """Multi-line, human-readable run summary (printed by the CLI)."""
@@ -76,6 +79,7 @@ class RunReport:
             cache_line += (
                 f"  ({self.cache_entries} entries, {self.cache_disk_bytes} bytes)"
             )
+        cache_line += f"  trace dir: {self.trace_dir or '(memory only)'}"
         lines = [
             "== run summary ==",
             f"experiments: {len(self.results)}  preset: {self.preset}  seed: {self.seed}",
@@ -91,9 +95,33 @@ class RunReport:
 
 
 # --------------------------------------------------------------------- workers
-def _init_worker(cache_dir: str | None, no_cache: bool) -> None:
+def _init_worker(
+    cache_dir: str | None,
+    no_cache: bool,
+    trace_dir: str | None = None,
+    no_trace_cache: bool = False,
+) -> None:
     """Pool initializer: give the worker process its own configured session."""
-    configure_session(cache_dir=cache_dir, no_cache=no_cache)
+    configure_session(
+        cache_dir=cache_dir,
+        no_cache=no_cache,
+        trace_dir=trace_dir,
+        no_trace_cache=no_trace_cache,
+    )
+
+
+def _session_trace_config(session: RuntimeSession) -> tuple[str | None, bool]:
+    """The ``(trace_dir, no_trace_cache)`` pair reproducing a session's fabric.
+
+    Pool workers must share the parent's artifact directory (that is the
+    fabric's whole point: one physical tensor per host), so the parent's
+    wiring — not the CLI flags, which the parent already resolved — is the
+    source of truth.
+    """
+    artifacts = getattr(session.traces, "artifacts", None)
+    if artifacts is None:
+        return None, True
+    return str(artifacts.directory), False
 
 
 def _reset_job_stats(session: RuntimeSession) -> None:
@@ -102,6 +130,11 @@ def _reset_job_stats(session: RuntimeSession) -> None:
     session.sweep_stats = SweepStats()
     session.traces.builds = 0
     session.traces.reuses = 0
+    artifacts = getattr(session.traces, "artifacts", None)
+    if artifacts is not None:
+        # Fabric counters are process-lifetime; without a reset every job a
+        # pool worker runs would re-report its predecessors' builds and maps.
+        artifacts.reset_counters()
 
 
 def _execute_job(
@@ -157,6 +190,7 @@ def _run_parallel(
     """Dependency-wavefront execution over a process pool."""
     cache_dir = str(session.cache.directory) if session.cache.directory else None
     no_cache = not session.cache.enabled
+    trace_dir, no_trace_cache = _session_trace_config(session)
     context = multiprocessing.get_context("spawn")
     results: dict[str, ExperimentResult] = {}
     waiting = list(plan.jobs())
@@ -167,7 +201,7 @@ def _run_parallel(
             max_workers=jobs,
             mp_context=context,
             initializer=_init_worker,
-            initargs=(cache_dir, no_cache),
+            initargs=(cache_dir, no_cache, trace_dir, no_trace_cache),
         )
     except (OSError, PermissionError) as error:
         # Normalize "cannot create a pool at all" to the executor failure the
@@ -214,6 +248,8 @@ def run_experiments(
     jobs: int = 1,
     cache_dir: str | Path | None = None,
     no_cache: bool = False,
+    trace_dir: str | Path | None = None,
+    no_trace_cache: bool = False,
 ) -> RunReport:
     """Run experiments through the runtime and reassemble results deterministically.
 
@@ -232,13 +268,27 @@ def run_experiments(
         is honored).
     no_cache:
         Disable result caching entirely.
+    trace_dir, no_trace_cache:
+        Control the zero-copy trace fabric independently of result caching
+        (see :func:`~repro.runtime.session.resolve_trace_dir`); only honored
+        when this call builds its own session (``cache_dir``/``no_cache``
+        given), otherwise the caller's session wiring stands.
     """
     preset = get_preset(preset)
     started = time.perf_counter()
-    if no_cache:
-        session = RuntimeSession(cache=ResultCache.disabled())
-    elif cache_dir is not None:
-        session = RuntimeSession(cache=ResultCache(directory=cache_dir))
+    if no_cache or cache_dir is not None:
+        cache = (
+            ResultCache.disabled() if no_cache else ResultCache(directory=cache_dir)
+        )
+        resolved = resolve_trace_dir(
+            None if no_cache else cache_dir, trace_dir, no_trace_cache
+        )
+        traces = None
+        if resolved is not None:
+            from repro.runtime.trace_cache import TraceArtifactStore
+
+            traces = TraceStore(artifacts=TraceArtifactStore(resolved))
+        session = RuntimeSession(cache=cache, traces=traces)
     else:
         session = current_session()
     session_stats_before = session.stats().as_dict()
@@ -296,4 +346,5 @@ def run_experiments(
         statistics_jobs=len(plan.statistics),
         cache_entries=usage.get("entries", 0),
         cache_disk_bytes=usage.get("disk_bytes", 0) or 0,
+        trace_dir=_session_trace_config(session)[0],
     )

@@ -36,6 +36,7 @@ __all__ = [
     "current_session",
     "default_cache_dir",
     "isolated_session",
+    "resolve_trace_dir",
     "use_session",
 ]
 
@@ -53,12 +54,34 @@ def default_cache_dir() -> Path:
 
 @dataclass
 class RunStats:
-    """Aggregate statistics of one run (merged across pool workers)."""
+    """Aggregate statistics of one run (merged across pool workers).
+
+    The ``trace_*``/``traces_mapped`` fields are the zero-copy trace fabric's
+    counters (:meth:`repro.runtime.trace_cache.TraceArtifactStore.counters`):
+    full tensors generated vs. opened as read-only memory maps of host-shared
+    artifacts, the artifact bytes those opens shared, and calibration
+    bisections run vs. loaded from persisted results.  All are event counters,
+    so they sum in both merge modes.
+    """
 
     cache: CacheStats = field(default_factory=CacheStats)
     sweep: SweepStats = field(default_factory=SweepStats)
     traces_built: int = 0
     traces_reused: int = 0
+    trace_tensors_built: int = 0
+    traces_mapped: int = 0
+    trace_bytes_shared: int = 0
+    trace_calibrations_computed: int = 0
+    trace_calibrations_loaded: int = 0
+
+    #: Trace-fabric event counters (plain sums under merge).
+    _FABRIC_COUNTERS = (
+        "trace_tensors_built",
+        "traces_mapped",
+        "trace_bytes_shared",
+        "trace_calibrations_computed",
+        "trace_calibrations_loaded",
+    )
 
     def merge(self, other: "RunStats | dict", distinct_caches: bool = False) -> None:
         """Accumulate ``other`` into this object.
@@ -74,23 +97,32 @@ class RunStats:
         self.sweep.merge(other.get("sweep", {}))
         self.traces_built += other.get("traces_built", 0)
         self.traces_reused += other.get("traces_reused", 0)
+        for name in self._FABRIC_COUNTERS:
+            setattr(self, name, getattr(self, name) + other.get(name, 0))
 
     def as_dict(self) -> dict:
-        return {
+        payload = {
             "cache": self.cache.as_dict(),
             "sweep": self.sweep.as_dict(),
             "traces_built": self.traces_built,
             "traces_reused": self.traces_reused,
         }
+        for name in self._FABRIC_COUNTERS:
+            payload[name] = getattr(self, name)
+        return payload
 
     def summary(self) -> str:
         """One-line, human-readable rendering for run summaries."""
+        calibrations = self.trace_calibrations_computed
         return (
             f"cache {self.cache.hits} hits / {self.cache.misses} misses / "
             f"{self.cache.stores} stores / {self.cache.errors} errors; "
             f"simulated {self.sweep.configs_simulated} configs "
             f"({self.sweep.drain_groups_computed} drain groups); "
-            f"traces {self.traces_built} built / {self.traces_reused} reused"
+            f"traces {self.traces_built} built / {self.traces_reused} reused; "
+            f"fabric {calibrations} calibrations / "
+            f"{self.trace_tensors_built} tensor builds / "
+            f"{self.traces_mapped} mmaps ({self.trace_bytes_shared} bytes shared)"
         )
 
 
@@ -129,6 +161,12 @@ class RuntimeSession:
         stats.sweep.merge(self.sweep_stats)
         stats.traces_built = self.traces.builds
         stats.traces_reused = self.traces.reuses
+        # Trace-fabric counters live on the shared artifact store; per-job
+        # stats views (serve's _TraceView) have no ``artifacts`` and report 0.
+        artifacts = getattr(self.traces, "artifacts", None)
+        if artifacts is not None:
+            for name, value in artifacts.counters().items():
+                setattr(stats, name, value)
         return stats
 
 
@@ -148,20 +186,56 @@ def current_session() -> RuntimeSession:
     return _DEFAULT
 
 
+def resolve_trace_dir(
+    cache_dir: str | Path | None = None,
+    trace_dir: str | Path | None = None,
+    no_trace_cache: bool = False,
+) -> Path | None:
+    """Where (if anywhere) this process's trace fabric lives.
+
+    ``no_trace_cache`` disables the fabric outright; an explicit ``trace_dir``
+    wins otherwise; an on-disk result cache defaults to a ``traces/``
+    subdirectory beside it (so N workers sharing a cache dir also share
+    trace artifacts); a memory-only session keeps traces in memory too.
+    Note ``--no-cache --trace-dir DIR`` keeps the fabric *on* — result caching
+    and trace sharing are independent tiers.
+    """
+    if no_trace_cache:
+        return None
+    if trace_dir is not None:
+        return Path(trace_dir).expanduser()
+    if cache_dir is not None:
+        from repro.runtime.trace_cache import default_trace_dir
+
+        return default_trace_dir(cache_dir)
+    return None
+
+
 def configure_session(
-    cache_dir: str | Path | None = None, no_cache: bool = False
+    cache_dir: str | Path | None = None,
+    no_cache: bool = False,
+    trace_dir: str | Path | None = None,
+    no_trace_cache: bool = False,
 ) -> RuntimeSession:
     """Install (and return) a fresh process-wide default session.
 
     ``cache_dir`` selects the shared on-disk cache; ``None`` keeps the cache
-    in memory.  ``no_cache`` disables caching entirely.
+    in memory.  ``no_cache`` disables result caching entirely.  ``trace_dir``/
+    ``no_trace_cache`` control the zero-copy trace fabric independently (see
+    :func:`resolve_trace_dir` for the resolution rule).
     """
     global _DEFAULT
     if no_cache:
         cache = ResultCache.disabled()
     else:
         cache = ResultCache(directory=cache_dir)
-    _DEFAULT = RuntimeSession(cache=cache)
+    resolved = resolve_trace_dir(cache_dir, trace_dir, no_trace_cache)
+    traces = None
+    if resolved is not None:
+        from repro.runtime.trace_cache import TraceArtifactStore
+
+        traces = TraceStore(artifacts=TraceArtifactStore(resolved))
+    _DEFAULT = RuntimeSession(cache=cache, traces=traces)
     return _DEFAULT
 
 

@@ -5,8 +5,14 @@ trace — everything :func:`repro.nn.calibration.calibrated_trace` needs, as a
 hashable value object.  Being declarative makes it both the cache-key
 component for simulations over the trace and the memoization key of the
 :class:`TraceStore`, which guarantees each network's trace is materialized
-once per session no matter how many experiments consume it.  See
-``docs/runtime.md`` for how traces fit the session and cache-key model.
+once per session no matter how many experiments consume it.
+
+A store may additionally be wired to a
+:class:`repro.runtime.trace_cache.TraceArtifactStore` (the zero-copy trace
+fabric): newly built traces then load their calibration from — and resolve
+their full layer tensors through — the host-shared artifact directory instead
+of recomputing them privately.  See ``docs/runtime.md`` for how traces fit the
+session and cache-key model.
 """
 
 from __future__ import annotations
@@ -35,8 +41,13 @@ class TraceSpec:
     precisions: tuple[int, ...] | None = None
     dense_first_layer: bool = True
 
-    def build(self) -> NetworkTrace:
-        """Materialize the trace (calibrating the network if necessary)."""
+    def build(self, calibration=None) -> NetworkTrace:
+        """Materialize the trace (calibrating the network if necessary).
+
+        ``calibration`` short-circuits the bisection with a persisted
+        :class:`~repro.nn.calibration.NetworkCalibration` (the trace fabric's
+        warm path).
+        """
         from repro.nn.calibration import calibrated_trace
 
         return calibrated_trace(
@@ -46,6 +57,7 @@ class TraceSpec:
             seed=self.seed,
             precisions=self.precisions,
             dense_first_layer=self.dense_first_layer,
+            calibration=calibration,
         )
 
 
@@ -56,11 +68,19 @@ class TraceStore:
     from per-layer seeds), so one instance can safely serve every experiment
     in a session.  The lock keeps the store safe under concurrent access from
     scheduler threads; process-pool workers each hold their own store.
+
+    With ``artifacts`` set, the store participates in the zero-copy trace
+    fabric: calibrations are loaded from (or persisted to) the shared artifact
+    directory, and each built trace gets an
+    :class:`~repro.runtime.trace_cache.MmapTraceBacking` attached so its full
+    layer tensors resolve to read-only memory maps of host-shared ``.npy``
+    artifacts.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, artifacts=None) -> None:
         self._traces: dict[TraceSpec, NetworkTrace] = {}
         self._lock = threading.Lock()
+        self.artifacts = artifacts
         self.builds = 0
         self.reuses = 0
 
@@ -85,7 +105,7 @@ class TraceStore:
             if trace is not None:
                 self.reuses += 1
                 return trace, False
-        built = spec.build()
+        built = self._build(spec)
         with self._lock:
             trace = self._traces.setdefault(spec, built)
             if trace is built:
@@ -93,6 +113,17 @@ class TraceStore:
                 return trace, True
             self.reuses += 1
             return trace, False
+
+    def _build(self, spec: TraceSpec) -> NetworkTrace:
+        """Build ``spec``'s trace, through the fabric when one is wired."""
+        if self.artifacts is None:
+            return spec.build()
+        from repro.runtime.trace_cache import MmapTraceBacking
+
+        calibration = self.artifacts.network_calibration(spec)
+        trace = spec.build(calibration=calibration)
+        trace.attach_backing(MmapTraceBacking(self.artifacts, spec))
+        return trace
 
     def __len__(self) -> int:
         return len(self._traces)

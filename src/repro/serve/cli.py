@@ -39,7 +39,7 @@ import os
 import sys
 
 from repro.experiments.base import parse_age, parse_size
-from repro.runtime.session import default_cache_dir
+from repro.runtime.session import default_cache_dir, resolve_trace_dir
 
 __all__ = ["main"]
 
@@ -171,7 +171,11 @@ async def _run_worker(args) -> int:
     cache_dir = args.cache_dir or default_cache_dir()
     try:
         service = WorkerService(
-            session=worker_session(cache_dir),
+            session=worker_session(
+                cache_dir,
+                trace_dir=args.trace_dir,
+                no_trace_cache=args.no_trace_cache,
+            ),
             workers=args.workers,
             auth_token=args.auth_token,
             gc_interval=args.gc_interval,
@@ -192,6 +196,9 @@ async def _run_worker(args) -> int:
                     "port": bound[1],
                     "pid": os.getpid(),
                     "cache_dir": str(cache_dir),
+                    "trace_dir": str(resolve_trace_dir(
+                        cache_dir, args.trace_dir, args.no_trace_cache
+                    )),
                 }
             ),
             flush=True,
@@ -262,6 +269,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-cache", action="store_true", help="disable the result cache entirely"
     )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="trace-fabric artifact directory (default: <cache-dir>/traces); "
+        "workers sharing it map one physical copy of each trace tensor",
+    )
+    parser.add_argument(
+        "--no-trace-cache",
+        action="store_true",
+        help="disable the zero-copy trace fabric (generate traces in-process)",
+    )
     gc = parser.add_argument_group("background cache GC")
     gc.add_argument(
         "--gc-interval",
@@ -315,6 +334,8 @@ def main(argv: list[str] | None = None) -> int:
         gc_max_bytes=args.gc_max_bytes,
         gc_max_age=args.gc_max_age,
         auth_token=args.auth_token,
+        trace_dir=args.trace_dir,
+        no_trace_cache=args.no_trace_cache,
     )
 
     async def run_tcp(host: str, port: int) -> None:

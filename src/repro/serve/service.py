@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.runtime import ResultCache, RunStats, RuntimeSession
+from repro.runtime.session import resolve_trace_dir
 from repro.serve.protocol import (
     CONTROL_OPS,
     JOB_OPS,
@@ -104,6 +105,12 @@ class ExperimentService:
     executor:
         Override for how jobs execute (see :class:`~repro.serve.workers.WorkerPool`);
         the cluster coordinator substitutes its sharding dispatcher here.
+    trace_dir / no_trace_cache:
+        Control the zero-copy trace fabric (host-shared mmap-backed trace
+        artifacts, :mod:`repro.runtime.trace_cache`) independently of result
+        caching; defaults to ``<cache-dir>/traces`` beside a disk cache
+        (see :func:`~repro.runtime.session.resolve_trace_dir`).  Ignored when
+        an explicit ``session`` is supplied.
     """
 
     #: Wire ops this service parses into queue jobs (subclasses may extend).
@@ -120,12 +127,23 @@ class ExperimentService:
         gc_max_age: float | None = None,
         auth_token: str | None = None,
         executor=None,
+        trace_dir: str | Path | None = None,
+        no_trace_cache: bool = False,
     ) -> None:
         if session is None:
             if no_cache:
-                session = RuntimeSession(cache=ResultCache.disabled())
+                cache = ResultCache.disabled()
             else:
-                session = RuntimeSession(cache=ResultCache(directory=cache_dir))
+                cache = ResultCache(directory=cache_dir)
+            resolved = resolve_trace_dir(
+                None if no_cache else cache_dir, trace_dir, no_trace_cache
+            )
+            traces = None
+            if resolved is not None:
+                from repro.runtime import TraceArtifactStore, TraceStore
+
+                traces = TraceStore(artifacts=TraceArtifactStore(resolved))
+            session = RuntimeSession(cache=cache, traces=traces)
         self.session = session
         self.auth_token = auth_token
         self.queue = RequestQueue()
@@ -311,6 +329,14 @@ class ExperimentService:
             totals.cache.disk_bytes = snap.disk_bytes
             totals.cache.memo_entries = snap.memo_entries
             totals.cache.oldest_age_seconds = snap.oldest_age_seconds
+        # Trace-fabric counters live on the shared artifact store (per-job
+        # views report 0 for them), so overlay the lifetime values here.
+        artifacts = getattr(self.session.traces, "artifacts", None)
+        trace_cache = None
+        if artifacts is not None:
+            for name, value in artifacts.counters().items():
+                setattr(totals, name, value)
+            trace_cache = artifacts.usage()
         return {
             "event": "stats",
             "stats": totals.as_dict(),
@@ -320,6 +346,7 @@ class ExperimentService:
             "cache_entries": usage["entries"],
             "cache": usage,
             "traces": len(self.session.traces),
+            "trace_cache": trace_cache,
             "workers": self.pool.workers,
             "background_gc": (
                 None
