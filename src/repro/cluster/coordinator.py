@@ -625,6 +625,7 @@ class ClusterService(ExperimentService):
             "network": request.network,
             "variants": request.variants,
             "representation": request.representation,
+            "encoding": request.encoding,
             "preset": request.preset,
             "seed": request.seed,
         }

@@ -74,6 +74,7 @@ def _config_from_wire(wire: dict) -> PragmaticConfig:
         ssr_count=wire.get("ssr_count"),
         software_trimming=wire.get("software_trimming", True),
         chip=ChipConfig(**chip) if chip is not None else ChipConfig(),
+        encoding=wire.get("encoding", "positional"),
         label=wire.get("label"),
     )
 

@@ -20,6 +20,7 @@ from repro.core.progress import ProgressToken, SweepCancelled
 from repro.core.scheduling import (
     column_drain_cycles,
     column_sync_cycles,
+    encoded_drain_masks,
     essential_terms,
     pallet_sync_cycles,
     ssr_pipeline_cycles,
@@ -31,6 +32,8 @@ from repro.core.variants import (
     FIG9_FIRST_STAGE_BITS,
     FIG10_SSR_COUNTS,
     column_variant,
+    encoding_variant,
+    encoding_variants,
     fig9_variants,
     fig10_variants,
     fig12_variants,
@@ -57,6 +60,7 @@ __all__ = [
     "column_sync_cycles",
     "ssr_pipeline_cycles",
     "essential_terms",
+    "encoded_drain_masks",
     "batched_drain_cycles",
     "pack_drain_masks",
     "pack_bit_planes",
@@ -69,6 +73,8 @@ __all__ = [
     "pallet_variant",
     "column_variant",
     "single_stage_variant",
+    "encoding_variant",
+    "encoding_variants",
     "fig9_variants",
     "fig10_variants",
     "fig12_variants",

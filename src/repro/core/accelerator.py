@@ -19,6 +19,7 @@ from repro.arch.tiling import SamplingConfig, sample_pallet_values
 from repro.baselines.dadiannao import DaDianNaoModel
 from repro.core.scheduling import column_sync_cycles, essential_terms, pallet_sync_cycles
 from repro.core.software import SoftwareGuidance
+from repro.numerics.encodings import DEFAULT_ENCODING, encoding_names
 from repro.nn.traces import NetworkTrace
 
 __all__ = [
@@ -52,6 +53,10 @@ class PragmaticConfig:
         (Section V-F).
     chip:
         Structural chip configuration (tiles, lanes, memories).
+    encoding:
+        Registered oneffset encoding the lanes stream
+        (:mod:`repro.numerics.encodings`); ``"positional"`` is the paper's
+        representation and the pre-registry behaviour.
     label:
         Optional display label; a descriptive one is generated when omitted.
     """
@@ -61,6 +66,7 @@ class PragmaticConfig:
     ssr_count: int | None = 1
     software_trimming: bool = True
     chip: ChipConfig = DEFAULT_CHIP
+    encoding: str = DEFAULT_ENCODING
     label: str | None = None
 
     def __post_init__(self) -> None:
@@ -73,6 +79,10 @@ class PragmaticConfig:
             )
         if self.ssr_count is not None and self.ssr_count < 1:
             raise ValueError("ssr_count must be positive or None (ideal)")
+        if self.encoding not in encoding_names():
+            raise ValueError(
+                f"encoding must be one of {encoding_names()}, got {self.encoding!r}"
+            )
 
     @property
     def name(self) -> str:
@@ -85,6 +95,8 @@ class PragmaticConfig:
             base = f"{base}-{suffix}"
         if not self.software_trimming:
             base = f"{base}-fp"
+        if self.encoding != DEFAULT_ENCODING:
+            base = f"{base}-{self.encoding}"
         return base
 
 
@@ -197,6 +209,7 @@ class PragmaticAccelerator:
                 self.config.first_stage_bits,
                 storage_bits,
                 min_step_cycles=min_step,
+                encoding=self.config.encoding,
             )
         else:
             per_pallet = column_sync_cycles(
@@ -205,13 +218,16 @@ class PragmaticAccelerator:
                 storage_bits,
                 ssr_count=self.config.ssr_count,
                 min_step_cycles=min_step,
+                encoding=self.config.encoding,
             )
 
         passes = layer.filter_passes(self.config.chip.filters_per_cycle)
         cycles = float(per_pallet.mean()) * total_pallets * passes
 
         sampled_neurons = values.size
-        terms_per_neuron = essential_terms(values, storage_bits) / max(1, sampled_neurons)
+        terms_per_neuron = essential_terms(
+            values, storage_bits, encoding=self.config.encoding
+        ) / max(1, sampled_neurons)
         terms = terms_per_neuron * layer.macs
 
         return LayerResult(

@@ -10,7 +10,10 @@ a packed formulation that the whole batch shares:
 * **Packed masks.**  Every column's 16 neuron magnitudes are stored as one
   ``uint16`` bit mask per lane (``pack_drain_masks``), 16x denser than the
   boolean bit-plane tensor, so one kernel call can hold *all* sampled pallets
-  and *all* drain groups of a layer at once.
+  and *all* drain groups of a layer at once.  Signed-term encodings
+  (:mod:`repro.numerics.encodings`) that use positions above 15 — CSD and
+  HESE reach position 16 — pack into ``uint32`` masks and take the same fast
+  path; the lookup tables stay 16-bit and wide masks are split into halves.
 * **Closed-form fast path.**  A column whose set bits all fit inside one
   first-stage window (``highest - lowest < reach``) never stalls: it finishes
   in exactly its busiest lane's popcount.  This generalizes the full-reach
@@ -52,11 +55,15 @@ __all__ = [
     "drain_backend",
 ]
 
-#: Widest bit position the packed representation holds (``uint16`` masks).
-KERNEL_MAX_POSITIONS = 16
+#: Widest bit position the packed representation holds (``uint32`` masks for
+#: signed-term planes; plain positional packing stays ``uint16``).
+KERNEL_MAX_POSITIONS = 32
 
-#: Sentinel head value of an empty lane (no outstanding oneffsets).
-_EMPTY_HEAD = KERNEL_MAX_POSITIONS
+#: Width of the lookup tables (wider masks are split into 16-bit halves).
+_TABLE_POSITIONS = 16
+
+#: Sentinel head value of an empty ``uint16`` lane (no outstanding oneffsets).
+_EMPTY_HEAD = _TABLE_POSITIONS
 
 #: Environment variable selecting the frontier-loop backend.
 _BACKEND_ENV = "REPRO_DRAIN_BACKEND"
@@ -75,18 +82,56 @@ def _tables() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """The (trailing-zero, popcount, highest-bit) tables, built once."""
     global _TZ16, _POP16, _HB16
     if _TZ16 is None:
-        n = np.arange(1 << KERNEL_MAX_POSITIONS, dtype=np.uint32)
+        n = np.arange(1 << _TABLE_POSITIONS, dtype=np.uint32)
         tz = np.full(n.size, _EMPTY_HEAD, dtype=np.uint8)
         hb = np.full(n.size, -1, dtype=np.int8)
         pop = np.zeros(n.size, dtype=np.uint8)
-        for position in range(KERNEL_MAX_POSITIONS - 1, -1, -1):
+        for position in range(_TABLE_POSITIONS - 1, -1, -1):
             set_here = ((n >> position) & 1).astype(bool)
             tz[set_here] = position
             pop += set_here
-        for position in range(KERNEL_MAX_POSITIONS):
+        for position in range(_TABLE_POSITIONS):
             hb[((n >> position) & 1).astype(bool)] = position
         _TZ16, _POP16, _HB16 = tz, pop, hb
     return _TZ16, _POP16, _HB16
+
+
+# Half-splitting helpers: wide (uint32) masks reuse the 16-bit tables.  Each
+# returns int16/int64 arrays so downstream arithmetic never wraps.
+def _mask_width(masks: np.ndarray) -> int:
+    return _TABLE_POSITIONS if masks.dtype == np.uint16 else KERNEL_MAX_POSITIONS
+
+
+def _trailing_zeros(masks: np.ndarray) -> np.ndarray:
+    """Lowest set bit per mask (the mask's width for an empty mask)."""
+    tz, _, _ = _tables()
+    if masks.dtype == np.uint16:
+        return tz[masks].astype(np.int16)
+    lo = (masks & np.uint32(0xFFFF)).astype(np.uint16)
+    hi = (masks >> np.uint32(16)).astype(np.uint16)
+    low = tz[lo].astype(np.int16)
+    high = np.int16(16) + tz[hi].astype(np.int16)
+    return np.where(lo != 0, low, high)
+
+
+def _popcounts(masks: np.ndarray) -> np.ndarray:
+    """Set-bit count per mask."""
+    _, pop, _ = _tables()
+    if masks.dtype == np.uint16:
+        return pop[masks].astype(np.int64)
+    lo = (masks & np.uint32(0xFFFF)).astype(np.uint16)
+    hi = (masks >> np.uint32(16)).astype(np.uint16)
+    return pop[lo].astype(np.int64) + pop[hi].astype(np.int64)
+
+
+def _highest_bits(masks: np.ndarray) -> np.ndarray:
+    """Highest set bit per mask (-1 for an empty mask)."""
+    _, _, hb = _tables()
+    if masks.dtype == np.uint16:
+        return hb[masks].astype(np.int64)
+    lo = (masks & np.uint32(0xFFFF)).astype(np.uint16)
+    hi = (masks >> np.uint32(16)).astype(np.uint16)
+    return np.where(hi != 0, 16 + hb[hi].astype(np.int64), hb[lo].astype(np.int64))
 
 
 # --------------------------------------------------------------------- packing
@@ -97,7 +142,7 @@ def pack_drain_masks(values: np.ndarray, storage_bits: int) -> np.ndarray:
     magnitude bits of the corresponding neuron.  Raises :class:`ValueError`
     when a magnitude does not fit in ``storage_bits`` (same contract as
     :func:`repro.numerics.fixedpoint.bit_matrix`) or when ``storage_bits``
-    exceeds the packed width.
+    exceeds the packed width.  Widths above 16 pack into ``uint32`` masks.
     """
     if not 1 <= storage_bits <= KERNEL_MAX_POSITIONS:
         raise ValueError(
@@ -110,11 +155,17 @@ def pack_drain_masks(values: np.ndarray, storage_bits: int) -> np.ndarray:
             f"magnitude {int(magnitudes.max())} does not fit in {storage_bits} bits "
             f"(max {limit})"
         )
-    return magnitudes.astype(np.uint16)
+    dtype = np.uint16 if storage_bits <= _TABLE_POSITIONS else np.uint32
+    return magnitudes.astype(dtype)
 
 
 def pack_bit_planes(bits: np.ndarray) -> np.ndarray:
-    """Pack a boolean bit-plane tensor ``(..., positions)`` into ``uint16`` masks."""
+    """Pack a boolean bit-plane tensor ``(..., positions)`` into mask words.
+
+    Up to 16 positions pack into ``uint16`` masks (the positional storage
+    formats); 17–32 positions (signed-term planes such as 17-position CSD
+    tensors) pack into ``uint32``.
+    """
     arr = np.asarray(bits, dtype=bool)
     if arr.ndim < 1:
         raise ValueError("bits must have at least a positions dimension")
@@ -124,37 +175,46 @@ def pack_bit_planes(bits: np.ndarray) -> np.ndarray:
             f"cannot pack {positions} bit positions into {KERNEL_MAX_POSITIONS}-bit masks"
         )
     weights = (np.int64(1) << np.arange(positions, dtype=np.int64))
-    return np.tensordot(arr.astype(np.int64), weights, axes=([-1], [0])).astype(np.uint16)
+    packed = np.tensordot(arr.astype(np.int64), weights, axes=([-1], [0]))
+    dtype = np.uint16 if positions <= _TABLE_POSITIONS else np.uint32
+    return packed.astype(dtype)
 
 
 def packed_essential_terms(masks: np.ndarray) -> float:
-    """Total essential-bit terms (set bits) of a packed mask tensor."""
-    _, pop, _ = _tables()
-    masks = np.asarray(masks, dtype=np.uint16)
-    return float(pop[masks].sum(dtype=np.int64))
+    """Total terms (set bits) of a packed mask tensor."""
+    return float(_popcounts(_as_masks(masks)).sum(dtype=np.int64))
+
+
+def _as_masks(masks: np.ndarray) -> np.ndarray:
+    """Coerce a tensor into packed mask form, preserving wide masks."""
+    masks = np.asarray(masks)
+    if masks.dtype in (np.uint16, np.uint32):
+        return masks
+    return masks.astype(np.uint16)
 
 
 # -------------------------------------------------------------- frontier loops
 def _frontier_numpy(masks: np.ndarray, reach: np.ndarray) -> np.ndarray:
     """Drain the slow columns with one whole-array update per cycle.
 
-    ``masks`` is ``uint16 [columns, lanes]`` (consumed by value — the caller
-    passes a private copy); ``reach`` is ``int16 [columns]``.  Returns the
-    per-column cycle counts.  Columns retire from the working set as they
-    drain, so late iterations touch only the deepest columns.
+    ``masks`` is ``uint16``/``uint32 [columns, lanes]`` (consumed by value —
+    the caller passes a private copy); ``reach`` is ``int16 [columns]``.
+    Returns the per-column cycle counts.  Columns retire from the working set
+    as they drain, so late iterations touch only the deepest columns.
     """
-    tz, _, _ = _tables()
+    empty_head = _mask_width(masks)
+    one = masks.dtype.type(1)
     out = np.zeros(masks.shape[0], dtype=np.int64)
     cycles = np.zeros(masks.shape[0], dtype=np.int64)
     index = np.arange(masks.shape[0])
     reach = reach.astype(np.int16, copy=False)
     while masks.size:
-        heads = tz[masks].astype(np.int16)
+        heads = _trailing_zeros(masks)
         column_minimum = heads.min(axis=1)
-        eligible = (heads < _EMPTY_HEAD) & (
+        eligible = (heads < empty_head) & (
             heads < (column_minimum + reach)[:, None]
         )
-        masks = np.where(eligible, masks & (masks - np.uint16(1)), masks)
+        masks = np.where(eligible, masks & (masks - one), masks)
         cycles += 1
         alive = masks.any(axis=1)
         if not alive.all():
@@ -244,9 +304,11 @@ def batched_drain_cycles(masks: np.ndarray, reaches) -> np.ndarray:
     Parameters
     ----------
     masks:
-        Packed neuron magnitudes shaped ``(..., lanes)`` — the lanes of one
-        PIP column along the last axis, any leading batch shape (the sweep
-        packs ``[pallets, steps, windows, neurons]``).
+        Packed term masks shaped ``(..., lanes)`` — the lanes of one PIP
+        column along the last axis, any leading batch shape (the sweep packs
+        ``[pallets, steps, windows, neurons]``).  ``uint16`` for positional
+        packing, ``uint32`` for signed-term planes using positions above 15
+        (other dtypes are coerced to ``uint16``).
     reaches:
         Sequence of first-stage reaches (``2 ** first_stage_bits``, each at
         least 1) to evaluate.  The per-column statistics (popcounts, bit
@@ -259,7 +321,7 @@ def batched_drain_cycles(masks: np.ndarray, reaches) -> np.ndarray:
         Columns with no set bits report zero cycles, exactly like the
         reference scheduler.
     """
-    masks = np.asarray(masks, dtype=np.uint16)
+    masks = _as_masks(masks)
     if masks.ndim < 1:
         raise ValueError("masks must have at least a lanes dimension")
     reaches = [int(reach) for reach in reaches]
@@ -268,17 +330,16 @@ def batched_drain_cycles(masks: np.ndarray, reaches) -> np.ndarray:
     if any(reach < 1 for reach in reaches):
         raise ValueError("every reach must be at least 1")
 
-    tz, pop, hb = _tables()
     *lead, lanes = masks.shape
     flat = np.ascontiguousarray(masks.reshape(-1, lanes))
     columns = flat.shape[0]
     out = np.zeros((len(reaches), columns), dtype=np.int64)
     if columns:
-        busiest = pop[flat].max(axis=1).astype(np.int64)
+        busiest = _popcounts(flat).max(axis=1)
         column_mask = np.bitwise_or.reduce(flat, axis=1)
         # Bit span of the column; empty columns go deeply negative and are
         # therefore always closed-form (zero busiest lanes -> zero cycles).
-        span = hb[column_mask].astype(np.int64) - tz[column_mask]
+        span = _highest_bits(column_mask) - _trailing_zeros(column_mask)
         slow_sets: list[tuple[int, np.ndarray]] = []
         for slot, reach in enumerate(reaches):
             closed = span < reach

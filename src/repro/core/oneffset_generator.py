@@ -1,22 +1,27 @@
 """On-the-fly oneffset generation (Section V-C).
 
 Neurons are stored in NM in their positional representation and converted into
-the explicit oneffset representation as they are broadcast to the tiles.  The
+an explicit term representation as they are broadcast to the tiles.  The
 conversion is a leading-one detector per neuron lane: every cycle it emits the
 next outstanding power of two together with an end-of-neuron marker.
 
-This module provides both the batch converter used by the functional models and
-a cycle-stepped generator that mirrors the hardware's per-lane behaviour (used
-by the dispatcher model and its tests).
+The converter is parameterized by a registered encoding
+(:mod:`repro.numerics.encodings`): ``positional`` reproduces the paper's
+oneffset generator exactly, while signed encodings (CSD, HESE) emit per-term
+signs that ride the PIP's existing negation input — only the generator
+changes, never the datapath.  This module provides both the batch converter
+used by the functional models and a cycle-stepped generator that mirrors the
+hardware's per-lane behaviour (used by the dispatcher model and its tests).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.numerics.oneffsets import OneffsetStream, encode_oneffsets
+from repro.numerics.encodings import DEFAULT_ENCODING, get_encoding
+from repro.numerics.oneffsets import OneffsetStream
 
 __all__ = ["OneffsetGenerator", "NeuronLaneState"]
 
@@ -25,13 +30,23 @@ __all__ = ["OneffsetGenerator", "NeuronLaneState"]
 class NeuronLaneState:
     """Per-lane state of the oneffset generator.
 
-    ``pending`` holds the not-yet-emitted oneffsets of the current neuron in
-    ascending order; ``sign`` is applied by the PIP's negation input.
+    ``pending`` holds the not-yet-emitted term positions of the current neuron
+    in ascending order; ``sign`` is the neuron's sign, applied by the PIP's
+    negation input.  For signed encodings ``term_signs`` carries the per-term
+    signs (aligned with ``pending``); the wire-level sign of a term is the
+    product of the neuron sign and its term sign.
     """
 
     pending: list[int]
     sign: int
     done: bool = False
+    term_signs: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.term_signs:
+            self.term_signs = [1] * len(self.pending)
+        if len(self.term_signs) != len(self.pending):
+            raise ValueError("term_signs must align with pending positions")
 
     def next_offset(self) -> tuple[int, bool, bool]:
         """Emit ``(offset, end_of_neuron, is_null)`` and advance the lane.
@@ -39,33 +54,65 @@ class NeuronLaneState:
         A lane whose neuron is exhausted keeps emitting null terms (the PIP's
         AND gate suppresses their contribution) until the whole group advances.
         """
+        offset, _, end, null = self.next_term()
+        return offset, end, null
+
+    def next_term(self) -> tuple[int, int, bool, bool]:
+        """Emit ``(offset, term_sign, end_of_neuron, is_null)`` and advance."""
         if not self.pending:
             self.done = True
-            return 0, True, True
+            return 0, 1, True, True
         offset = self.pending.pop(0)
+        term_sign = self.term_signs.pop(0)
         end = not self.pending
         if end:
             self.done = True
-        return offset, end, False
+        return offset, term_sign, end, False
 
 
 class OneffsetGenerator:
-    """Converts positional neuron values into oneffset streams.
+    """Converts positional neuron values into per-encoding term streams.
 
     Parameters
     ----------
     storage_bits:
         Width of the storage representation; values must fit in it.
+    encoding:
+        Registered encoding name (:mod:`repro.numerics.encodings`).  The
+        default ``positional`` reproduces the paper's oneffset generator
+        bit-for-bit.
     """
 
-    def __init__(self, storage_bits: int = 16) -> None:
+    def __init__(
+        self, storage_bits: int = 16, encoding: str = DEFAULT_ENCODING
+    ) -> None:
         if storage_bits < 1:
             raise ValueError("storage_bits must be positive")
         self.storage_bits = storage_bits
+        self.encoding = get_encoding(encoding)
 
     def convert_value(self, value: int) -> OneffsetStream:
-        """Serialize one neuron into its wire-level oneffset stream."""
-        return OneffsetStream.from_value(int(value), bits=self.storage_bits)
+        """Serialize one neuron into its wire-level term stream.
+
+        The stream carries ``(pow, eon)`` entries; for signed encodings the
+        per-term signs travel on the separate negation wire modelled by
+        :meth:`lane_states` (so :attr:`OneffsetStream.value` reconstructs the
+        unsigned positional sum only for unsigned encodings).
+        """
+        if self.encoding.name == DEFAULT_ENCODING:
+            return OneffsetStream.from_value(int(value), bits=self.storage_bits)
+        positions = [
+            position
+            for _, position in self.encoding.terms(int(value), bits=self.storage_bits)
+        ]
+        if not positions:
+            return OneffsetStream(entries=((0, True),))
+        return OneffsetStream(
+            entries=tuple(
+                (position, index == len(positions) - 1)
+                for index, position in enumerate(positions)
+            )
+        )
 
     def convert_brick(self, values: np.ndarray) -> list[OneffsetStream]:
         """Serialize one 16-neuron brick."""
@@ -80,16 +127,18 @@ class OneffsetGenerator:
                 raise ValueError(
                     f"value {int(raw)} does not fit in {self.storage_bits} bits"
                 )
+            terms = self.encoding.terms(magnitude, bits=self.storage_bits)
             states.append(
                 NeuronLaneState(
-                    pending=list(encode_oneffsets(magnitude, ascending=True)),
+                    pending=[position for _, position in terms],
                     sign=-1 if raw < 0 else 1,
+                    term_signs=[sign for sign, _ in terms],
                 )
             )
         return states
 
     def oneffset_lists(self, values: np.ndarray) -> list[list[int]]:
-        """Ascending oneffset lists for a brick (the scheduler's input format)."""
+        """Ascending term-position lists for a brick (the scheduler's input format)."""
         return [list(state.pending) for state in self.lane_states(values)]
 
     def max_stream_length(self, values: np.ndarray) -> int:

@@ -33,6 +33,7 @@ from repro.core.kernels import (
     pack_drain_masks,
     packed_essential_terms,
 )
+from repro.numerics.encodings import DEFAULT_ENCODING, get_encoding
 
 __all__ = [
     "column_drain_cycles",
@@ -41,7 +42,23 @@ __all__ = [
     "column_sync_cycles",
     "ssr_pipeline_cycles",
     "essential_terms",
+    "encoded_drain_masks",
 ]
+
+
+def encoded_drain_masks(
+    values: np.ndarray, storage_bits: int, encoding: str = DEFAULT_ENCODING
+) -> np.ndarray:
+    """Packed term masks of integer neuron values under a named encoding.
+
+    The ``positional`` default routes through :func:`pack_drain_masks` — the
+    exact pre-registry code path, preserving the bit-identity guarantee —
+    while every other registered encoding contributes its own term planes
+    (``uint32`` masks when positions above 15 are used, e.g. CSD/HESE).
+    """
+    if encoding == DEFAULT_ENCODING:
+        return pack_drain_masks(values, storage_bits)
+    return get_encoding(encoding).term_masks(values, bits=storage_bits)
 
 
 def column_drain_cycles(bits: np.ndarray, first_stage_bits: int) -> np.ndarray:
@@ -82,8 +99,8 @@ def column_drain_cycles(bits: np.ndarray, first_stage_bits: int) -> np.ndarray:
         # lane has streamed all of its oneffsets.
         return arr.sum(axis=-1).max(axis=-1)
     if positions > KERNEL_MAX_POSITIONS:
-        # Wider-than-packable planes (e.g. 17-position CSD tensors) take the
-        # reference path; every storage format of the paper packs.
+        # Wider than even the uint32 packing (none of the registered
+        # encodings gets here); the reference scheduler handles any width.
         return _reference_drain_cycles(arr, first_stage_bits)
     return batched_drain_cycles(pack_bit_planes(arr), (reach,))[0]
 
@@ -125,17 +142,20 @@ def _reference_drain_cycles(bits: np.ndarray, first_stage_bits: int) -> np.ndarr
 
 
 def step_drain_cycles(
-    step_values: np.ndarray, first_stage_bits: int, storage_bits: int
+    step_values: np.ndarray,
+    first_stage_bits: int,
+    storage_bits: int,
+    encoding: str = DEFAULT_ENCODING,
 ) -> np.ndarray:
     """Per-column drain cycles for integer neuron values.
 
     ``step_values`` has shape ``(..., windows, neurons)``; the result has shape
-    ``(..., windows)``.  Values are packed once and dispatched through the
-    batch kernel.
+    ``(..., windows)``.  Values are packed once — as the term masks of the
+    selected encoding — and dispatched through the batch kernel.
     """
     if first_stage_bits < 0:
         raise ValueError("first_stage_bits must be non-negative")
-    masks = pack_drain_masks(step_values, storage_bits)
+    masks = encoded_drain_masks(step_values, storage_bits, encoding)
     if masks.ndim < 1:
         raise ValueError("step_values must have at least a neurons dimension")
     return batched_drain_cycles(masks, (1 << first_stage_bits,))[0]
@@ -146,6 +166,7 @@ def pallet_sync_cycles(
     first_stage_bits: int,
     storage_bits: int,
     min_step_cycles: int = 1,
+    encoding: str = DEFAULT_ENCODING,
 ) -> np.ndarray:
     """Cycles per pallet under per-pallet neuron lane synchronization.
 
@@ -161,6 +182,9 @@ def pallet_sync_cycles(
         Lower bound on the cost of one brick step; covers the single cycle a
         null pallet still takes and the NM fetch overlap floor
         (``max(NM_cycles, processing)`` of Section V-A4).
+    encoding:
+        Registered oneffset encoding the lanes stream
+        (:mod:`repro.numerics.encodings`).
 
     Returns
     -------
@@ -170,7 +194,7 @@ def pallet_sync_cycles(
     if min_step_cycles < 1:
         raise ValueError("min_step_cycles must be at least 1")
     values = _check_pallet_shape(step_values)
-    column = step_drain_cycles(values, first_stage_bits, storage_bits)
+    column = step_drain_cycles(values, first_stage_bits, storage_bits, encoding)
     step = np.maximum(column.max(axis=2), min_step_cycles)
     return step.sum(axis=1)
 
@@ -182,6 +206,7 @@ def column_sync_cycles(
     ssr_count: int | None = 1,
     sb_read_cycles: int = 1,
     min_step_cycles: int = 1,
+    encoding: str = DEFAULT_ENCODING,
 ) -> np.ndarray:
     """Cycles per pallet under per-column synchronization with ``ssr_count`` SSRs.
 
@@ -208,7 +233,8 @@ def column_sync_cycles(
         raise ValueError("min_step_cycles must be at least 1")
     values = _check_pallet_shape(step_values)
     drain = np.maximum(
-        step_drain_cycles(values, first_stage_bits, storage_bits), min_step_cycles
+        step_drain_cycles(values, first_stage_bits, storage_bits, encoding),
+        min_step_cycles,
     )
     return ssr_pipeline_cycles(drain, ssr_count, sb_read_cycles=sb_read_cycles)
 
@@ -249,9 +275,15 @@ def ssr_pipeline_cycles(
     return finish.max(axis=1)
 
 
-def essential_terms(step_values: np.ndarray, storage_bits: int) -> float:
-    """Total essential-bit terms contained in the sampled neuron values."""
-    return packed_essential_terms(pack_drain_masks(step_values, storage_bits))
+def essential_terms(
+    step_values: np.ndarray, storage_bits: int, encoding: str = DEFAULT_ENCODING
+) -> float:
+    """Total essential terms contained in the sampled neuron values.
+
+    For ``positional`` this is the paper's essential-bit count; other
+    encodings count their own signed terms.
+    """
+    return packed_essential_terms(encoded_drain_masks(step_values, storage_bits, encoding))
 
 
 def _check_pallet_shape(step_values: np.ndarray) -> np.ndarray:

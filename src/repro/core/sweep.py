@@ -2,14 +2,15 @@
 
 The paper's figures evaluate many configurations over the same traces.  The
 expensive part of the cycle simulation — computing per-column drain cycles from
-the neuron bit planes — only depends on the first-stage shifter width and on
-whether software trimming is applied, not on the synchronization scheme or the
-SSR count.  :func:`sweep_network` therefore samples each layer's pallets once,
-plans every ``(first_stage_bits, software_trimming)`` drain group of the layer
+the neuron term planes — only depends on the first-stage shifter width, on
+whether software trimming is applied and on the oneffset encoding, not on the
+synchronization scheme or the SSR count.  :func:`sweep_network` therefore
+samples each layer's pallets once, plans every
+``(first_stage_bits, software_trimming, encoding)`` drain group of the layer
 up front, and dispatches them through the batched drain kernel
 (:mod:`repro.core.kernels`): the trimmed neuron values are packed once per
-trimming flag and all first-stage reaches are evaluated over that packed
-tensor in one call.  Every requested configuration's cycle count is then
+``(trimming, encoding)`` pair and all first-stage reaches are evaluated over
+that packed tensor in one call.  Every requested configuration's cycle count is then
 derived from its group's drains, producing **bit-identical** results to
 :class:`repro.core.accelerator.PragmaticAccelerator` at a fraction of the cost
 (the golden suite in ``tests/test_core_kernels.py`` asserts exact equality).
@@ -25,13 +26,9 @@ from repro.arch.memory import NeuronMemory
 from repro.arch.tiling import SamplingConfig, sample_pallet_values
 from repro.baselines.dadiannao import DaDianNaoModel
 from repro.core.accelerator import LayerResult, NetworkResult, PragmaticConfig
-from repro.core.kernels import (
-    batched_drain_cycles,
-    pack_drain_masks,
-    packed_essential_terms,
-)
+from repro.core.kernels import batched_drain_cycles, packed_essential_terms
 from repro.core.progress import ProgressToken, SweepCancelled
-from repro.core.scheduling import ssr_pipeline_cycles
+from repro.core.scheduling import encoded_drain_masks, ssr_pipeline_cycles
 from repro.core.software import SoftwareGuidance
 from repro.nn.traces import NetworkTrace
 
@@ -153,25 +150,25 @@ def sweep_network(
         baseline_cycles = float(baseline.layer_cycles(layer))
         baseline_terms = float(baseline.layer_terms(layer, storage_bits))
 
-        # Plan every (first_stage_bits, software_trimming) drain group of the
-        # layer up front, then dispatch one batched kernel call per trimming
-        # flag: the packed masks and per-column statistics are shared by all
-        # first-stage reaches of that flag.
-        group_keys: list[tuple[int, bool]] = []
+        # Plan every (first_stage_bits, software_trimming, encoding) drain
+        # group of the layer up front, then dispatch one batched kernel call
+        # per (trimming, encoding) pair: the packed term masks and per-column
+        # statistics are shared by all first-stage reaches of that pair.
+        group_keys: list[tuple[int, bool, str]] = []
         for config in configs.values():
-            key = (config.first_stage_bits, config.software_trimming)
+            key = (config.first_stage_bits, config.software_trimming, config.encoding)
             if key not in group_keys:
                 group_keys.append(key)
-        groups: dict[tuple[int, bool], _DrainGroup] = {}
-        for trimming in dict.fromkeys(key[1] for key in group_keys):
+        groups: dict[tuple[int, bool, str], _DrainGroup] = {}
+        for trimming, encoding in dict.fromkeys(key[1:] for key in group_keys):
             if progress is not None:
                 progress.checkpoint()
-            flag_keys = [key for key in group_keys if key[1] == trimming]
+            flag_keys = [key for key in group_keys if key[1:] == (trimming, encoding)]
             guidance = SoftwareGuidance.from_trace(trace, enabled=trimming)
             trimmed = guidance.apply(values, layer_index)
-            masks = pack_drain_masks(trimmed, storage_bits)
+            masks = encoded_drain_masks(trimmed, storage_bits, encoding)
             drains = batched_drain_cycles(
-                masks, [1 << bits for bits, _ in flag_keys]
+                masks, [1 << bits for bits, _, _ in flag_keys]
             )
             terms_per_neuron = packed_essential_terms(masks) / max(1, trimmed.size)
             if stats is not None:
@@ -182,7 +179,9 @@ def sweep_network(
                 )
 
         for label, config in configs.items():
-            group = groups[(config.first_stage_bits, config.software_trimming)]
+            group = groups[
+                (config.first_stage_bits, config.software_trimming, config.encoding)
+            ]
             per_pallet = cycles_from_drain(group.drain, config, min_step)
             cycles = float(per_pallet.mean()) * total_pallets * passes
             per_config_layers[label].append(

@@ -9,16 +9,19 @@ figures do, so experiments, benchmarks and examples all agree on labels.
 from __future__ import annotations
 
 from repro.core.accelerator import PragmaticConfig
+from repro.numerics.encodings import encoding_names
 
 __all__ = [
     "pallet_variant",
     "column_variant",
     "single_stage_variant",
+    "encoding_variant",
     "FIG9_FIRST_STAGE_BITS",
     "FIG10_SSR_COUNTS",
     "fig9_variants",
     "fig10_variants",
     "fig12_variants",
+    "encoding_variants",
     "paper_variants",
 ]
 
@@ -68,6 +71,26 @@ def column_variant(
     )
 
 
+def encoding_variant(
+    encoding: str,
+    first_stage_bits: int = 2,
+    software_trimming: bool = True,
+) -> PragmaticConfig:
+    """The baseline PRA design point streaming a registered encoding.
+
+    PRA-2b with per-pallet synchronization — the paper's headline
+    configuration — so encoding comparisons isolate the representation, not
+    the synchronization scheme.
+    """
+    return PragmaticConfig(
+        first_stage_bits=first_stage_bits,
+        synchronization="pallet",
+        software_trimming=software_trimming,
+        encoding=encoding,
+        label=f"PRA-{first_stage_bits}b-{encoding}",
+    )
+
+
 def fig9_variants() -> dict[str, PragmaticConfig]:
     """The Pragmatic bars of Figure 9: 0-bit … 4-bit first-stage shifters."""
     return {f"{bits}-bit": pallet_variant(bits) for bits in FIG9_FIRST_STAGE_BITS}
@@ -90,6 +113,18 @@ def fig12_variants() -> dict[str, PragmaticConfig]:
         "perPall-2bit": pallet_variant(2, software_trimming=False),
         "perCol-1reg-2bit": column_variant(1, software_trimming=False),
         "perCol-ideal-2bit": column_variant(None, software_trimming=False),
+    }
+
+
+def encoding_variants(first_stage_bits: int = 2) -> dict[str, PragmaticConfig]:
+    """One PRA design point per registered encoding, keyed by encoding name.
+
+    The groups of the ``encodings`` comparison experiment; ``positional`` is
+    numerically identical to the plain ``PRA-2b`` point of Figure 9.
+    """
+    return {
+        name: encoding_variant(name, first_stage_bits=first_stage_bits)
+        for name in encoding_names()
     }
 
 

@@ -16,13 +16,17 @@ from repro.analysis.speedup import geometric_mean
 from repro.analysis.tables import format_percent
 from repro.experiments.base import ExperimentResult, Preset, get_preset
 from repro.nn.networks import get_network
-from repro.numerics.csd import csd_term_counts
+from repro.numerics.encodings import get_encoding
 from repro.runtime import TraceSpec, current_session
-from repro.numerics.fixedpoint import popcount
 
 __all__ = ["run"]
 
 _ENGINES = ("Stripes", "PRA-fp16", "PRA-csd")
+
+#: Term counting now rides the encoding registry; the registry entries
+#: reproduce the popcount / csd_term_counts numbers exactly (pinned by
+#: tests/test_experiments.py).
+_ENGINE_ENCODINGS = {"PRA-fp16": "positional", "PRA-csd": "csd"}
 
 
 def run(preset: str | Preset = "fast", seed: int = 0) -> ExperimentResult:
@@ -43,8 +47,9 @@ def run(preset: str | Preset = "fast", seed: int = 0) -> ExperimentResult:
             precision = trace.layer_precision(index)
             baseline += layer.macs * 16.0
             totals["Stripes"] += layer.macs * float(min(precision.width, 16))
-            totals["PRA-fp16"] += layer.macs * float(popcount(values, 16).mean())
-            totals["PRA-csd"] += layer.macs * float(csd_term_counts(values, 16).mean())
+            for engine, encoding in _ENGINE_ENCODINGS.items():
+                counts = get_encoding(encoding).term_counts(values, bits=16)
+                totals[engine] += layer.macs * float(counts.mean())
         relative = {engine: totals[engine] / baseline for engine in _ENGINES}
         reduction = 1.0 - relative["PRA-csd"] / relative["PRA-fp16"]
         rows.append(

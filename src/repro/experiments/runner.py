@@ -36,6 +36,7 @@ from typing import Callable
 
 from repro.experiments import (
     ablation,
+    encodings,
     extension_csd,
     fig2,
     fig3,
@@ -181,6 +182,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig12": fig12.run,
     "ablation": ablation.run,
     "extension_csd": extension_csd.run,
+    "encodings": encodings.run,
 }
 
 

@@ -128,6 +128,17 @@ class MixSpec:
     experiments: tuple = (("fig2", 1.0), ("fig3", 1.0), ("table1", 2.0), ("table3", 3.0))
     #: Weighted preset distribution.
     presets: tuple = (("smoke", 1.0),)
+    #: Fraction of *cold* requests issued as single-network ``simulate`` ops
+    #: instead of ``run_experiment`` (0 keeps the pre-simulate schedules
+    #: byte-identical: no extra RNG draws happen when this is 0).
+    simulate_ratio: float = 0.0
+    #: Weighted network distribution for simulate ops.
+    networks: tuple = (("alexnet", 1.0),)
+    #: Variant group simulate ops request (a :mod:`repro.core.variants` family).
+    variants: str = "fig9"
+    #: Weighted oneffset-encoding distribution for simulate ops
+    #: (:mod:`repro.numerics.encodings` registry names).
+    encodings: tuple = (("positional", 1.0),)
     #: Preset overrides applied to every request (bounds hermetic run cost).
     overrides: tuple = ()
     #: Start of client ``k`` is delayed by ``k * ramp_seconds`` — a linear
@@ -178,6 +189,36 @@ class MixSpec:
             )
         if "presets" in data:
             kwargs["presets"] = _weighted(data["presets"], "presets", allowed=set(PRESETS))
+        if "simulate_ratio" in data:
+            kwargs["simulate_ratio"] = _ratio(data["simulate_ratio"], "simulate_ratio")
+        if "networks" in data:
+            from repro.nn.networks import NETWORK_NAMES
+
+            kwargs["networks"] = _weighted(
+                data["networks"], "networks", allowed=set(NETWORK_NAMES)
+            )
+        if "variants" in data:
+            variants = data["variants"]
+            allowed_variants = ("fig9", "fig10", "fig12", "encodings")
+            if variants not in allowed_variants:
+                raise MixError(
+                    f"unknown variants group {variants!r}; "
+                    f"available: {', '.join(allowed_variants)}"
+                )
+            kwargs["variants"] = variants
+        if "encodings" in data:
+            from repro.numerics.encodings import encoding_names
+
+            kwargs["encodings"] = _weighted(
+                data["encodings"], "encodings", allowed=set(encoding_names())
+            )
+        if kwargs.get("variants") == "encodings" and tuple(
+            name for name, _ in kwargs.get("encodings", ())
+        ) not in ((), ("positional",)):
+            raise MixError(
+                "the 'encodings' variant group already spans every encoding; "
+                "drop the encodings weights"
+            )
         if "overrides" in data:
             try:
                 kwargs["overrides"] = _normalize_overrides(data["overrides"])
@@ -204,6 +245,10 @@ class MixSpec:
             "cancel_rate": self.cancel_rate,
             "experiments": dict(self.experiments),
             "presets": dict(self.presets),
+            "simulate_ratio": self.simulate_ratio,
+            "networks": dict(self.networks),
+            "variants": self.variants,
+            "encodings": dict(self.encodings),
             "overrides": {key: list(value) if isinstance(value, tuple) else value
                           for key, value in self.overrides},
             "ramp_seconds": self.ramp_seconds,
@@ -218,6 +263,24 @@ class MixSpec:
             "preset": preset,
             "seed": seed,
         }
+        overrides = {key: list(value) if isinstance(value, tuple) else value
+                     for key, value in self.overrides}
+        if overrides:
+            message["overrides"] = overrides
+        return message
+
+    def _simulate_message(
+        self, network: str, encoding: str, preset: str, seed: int
+    ) -> dict:
+        message = {
+            "op": "simulate",
+            "network": network,
+            "variants": self.variants,
+            "preset": preset,
+            "seed": seed,
+        }
+        if encoding != "positional":
+            message["encoding"] = encoding
         overrides = {key: list(value) if isinstance(value, tuple) else value
                      for key, value in self.overrides}
         if overrides:
@@ -245,6 +308,16 @@ class MixSpec:
             hot = rng.random() < self.hot_ratio
             if hot:
                 message = dict(pool[rng.randrange(len(pool))])
+            elif self.simulate_ratio and rng.random() < self.simulate_ratio:
+                # The leading truthiness guard keeps simulate-free specs free
+                # of extra RNG draws, so their schedules stay byte-identical
+                # to the pre-simulate format.
+                message = self._simulate_message(
+                    _pick(rng, self.networks),
+                    _pick(rng, self.encodings),
+                    _pick(rng, self.presets),
+                    _COLD_SEED_BASE + index,
+                )
             else:
                 message = self._message(
                     _pick(rng, self.experiments),

@@ -22,6 +22,13 @@ from repro.numerics.encoding import (
     serial_term_schedule,
     two_stage_decompose,
 )
+from repro.numerics.encodings import (
+    DEFAULT_ENCODING,
+    Encoding,
+    encoding_names,
+    get_encoding,
+    register_encoding,
+)
 from repro.numerics.fixedpoint import (
     FIXED8,
     FIXED16,
@@ -66,4 +73,9 @@ __all__ = [
     "csd_term_counts",
     "csd_term_fraction",
     "csd_position_matrix",
+    "Encoding",
+    "DEFAULT_ENCODING",
+    "register_encoding",
+    "get_encoding",
+    "encoding_names",
 ]

@@ -182,16 +182,30 @@ def simulation_key(trace_spec: object, sampling: object, config: object) -> str:
     does not influence any simulated number, and excluding it lets experiments
     that evaluate the same design point under different names (e.g. Figure 9's
     ``4-bit`` and PRAsingle) share one cache entry.
+
+    A default (``positional``) ``encoding`` field is dropped from the
+    canonical form: positional configurations key exactly as they did before
+    encodings became a config axis, so warm caches stay warm across the
+    refactor, while every non-default encoding keys (and therefore caches)
+    independently.
     """
     if dataclasses.is_dataclass(config) and hasattr(config, "label"):
         config = dataclasses.replace(config, label=None)
+    canonical_config = canonicalize(config)
+    if (
+        isinstance(canonical_config, list)
+        and len(canonical_config) == 2
+        and isinstance(canonical_config[1], dict)
+        and canonical_config[1].get("encoding") == "positional"
+    ):
+        canonical_config[1].pop("encoding")
     return fingerprint(
         {
             "kind": "simulation",
             "code": code_fingerprint(),
             "trace": canonicalize(trace_spec),
             "sampling": canonicalize(sampling),
-            "config": canonicalize(config),
+            "config": canonical_config,
         }
     )
 

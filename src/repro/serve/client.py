@@ -239,6 +239,7 @@ class ServeClient:
         network: str,
         variants: str = "fig9",
         representation: str = "fixed16",
+        encoding: str = "positional",
         preset: str = "fast",
         seed: int = 0,
         overrides: dict | None = None,
@@ -250,6 +251,7 @@ class ServeClient:
             "network": network,
             "variants": variants,
             "representation": representation,
+            "encoding": encoding,
             "preset": preset,
             "seed": seed,
         }

@@ -161,12 +161,16 @@ class SimulateRequest:
 
     ``{"op": "simulate", "network": "alexnet", "variants": "fig9", ...}`` —
     the variant groups are the named design-point families of
-    :mod:`repro.core.variants`.
+    :mod:`repro.core.variants`.  An optional ``"encoding"`` selects a
+    registered oneffset encoding (:mod:`repro.numerics.encodings`) for every
+    configuration of the group; the default is the paper's ``positional``
+    representation.
     """
 
     network: str
     variants: str = "fig9"
     representation: str = "fixed16"
+    encoding: str = "positional"
     preset: str = "fast"
     seed: int = 0
     overrides: tuple[tuple[str, object], ...] = ()
@@ -178,22 +182,45 @@ class SimulateRequest:
 
     def simulation_request(self) -> SimulationRequest:
         """The runtime simulation request this wire request resolves to."""
-        from repro.core.variants import fig9_variants, fig10_variants, fig12_variants
+        from repro.core.variants import (
+            encoding_variants,
+            fig9_variants,
+            fig10_variants,
+            fig12_variants,
+        )
+        from repro.numerics.encodings import encoding_names
 
         groups = {
             "fig9": fig9_variants,
             "fig10": fig10_variants,
             "fig12": fig12_variants,
+            "encodings": encoding_variants,
         }
         if self.variants not in groups:
             raise ProtocolError(
                 f"unknown variant group {self.variants!r}; available: {', '.join(groups)}"
             )
+        if self.encoding not in encoding_names():
+            raise ProtocolError(
+                f"unknown encoding {self.encoding!r}; available: "
+                f"{', '.join(encoding_names())}"
+            )
+        configs = dict(groups[self.variants]())
+        if self.encoding != "positional":
+            if self.variants == "encodings":
+                raise ProtocolError(
+                    "the 'encodings' variant group already spans every encoding; "
+                    "drop the encoding field"
+                )
+            configs = {
+                label: dataclasses.replace(config, encoding=self.encoding)
+                for label, config in configs.items()
+            }
         return SimulationRequest(
             trace=TraceSpec(
                 network=self.network, representation=self.representation, seed=self.seed
             ),
-            configs=tuple(groups[self.variants]().items()),
+            configs=tuple(configs.items()),
             sampling=self.resolved_preset().sampling(),
         )
 
@@ -240,15 +267,19 @@ def parse_request(message: dict) -> ServeRequest:
     network = message.get("network")
     if not isinstance(network, str) or not network:
         raise ProtocolError("simulate requires a network name")
+    encoding = message.get("encoding", "positional")
+    if not isinstance(encoding, str) or not encoding:
+        raise ProtocolError("encoding must be a non-empty string")
     request = SimulateRequest(
         network=network,
         variants=message.get("variants", "fig9"),
         representation=message.get("representation", "fixed16"),
+        encoding=encoding,
         preset=preset,
         seed=seed,
         overrides=overrides,
     )
-    request.simulation_request()  # validates variants/representation eagerly
+    request.simulation_request()  # validates variants/representation/encoding eagerly
     return request
 
 

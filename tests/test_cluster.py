@@ -94,6 +94,31 @@ class TestPlanWireCodec:
         assert rebuilt == request
         assert rebuilt.keys() == request.keys()  # byte-identical fingerprints
 
+    def test_encoding_round_trips_and_defaults(self):
+        """Non-default encodings survive the wire; old wire payloads that
+        predate the field decode as positional."""
+        from repro.core.variants import encoding_variants
+
+        preset = get_preset("smoke")
+        request = SimulationRequest(
+            trace=TraceSpec(network="alexnet"),
+            configs=tuple(encoding_variants().items()),
+            sampling=preset.sampling(),
+        )
+        wire = json.loads(json.dumps(simulation_request_to_wire(request)))
+        rebuilt = simulation_request_from_wire(wire)
+        assert rebuilt == request
+        assert rebuilt.keys() == request.keys()
+        assert [config.encoding for _, config in rebuilt.configs] == [
+            name for name, _ in request.configs
+        ]
+        # A pre-encoding wire dict (no "encoding" key) decodes to positional.
+        legacy = json.loads(json.dumps(simulation_request_to_wire(request)))
+        for _, config_wire in legacy["configs"]:
+            config_wire.pop("encoding")
+        from_legacy = simulation_request_from_wire(legacy)
+        assert all(c.encoding == "positional" for _, c in from_legacy.configs)
+
     def test_statistics_round_trip(self):
         request = StatisticsRequest(
             statistic="fig2_terms",

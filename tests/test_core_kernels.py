@@ -192,18 +192,57 @@ class TestKernelMatchesReference:
         )
 
     def test_wide_position_planes_fall_back_to_reference(self):
-        """17-position planes (CSD) exceed the packed width but still work."""
+        """Planes beyond the 32-position packed width still work via fallback."""
         rng = np.random.default_rng(6)
         planes = rng.random((20, 8, KERNEL_MAX_POSITIONS + 1)) < 0.3
         np.testing.assert_array_equal(
             column_drain_cycles(planes, 1), _reference_drain_cycles(planes, 1)
         )
 
+    @pytest.mark.parametrize("first_stage_bits", range(5))
+    def test_csd_max_span_column_takes_packed_path(self, first_stage_bits):
+        """17-position CSD planes now run the packed kernel, not the bailout.
+
+        0xFFFF encodes as +2^16 - 2^0 under CSD: a single column of such
+        values spans the full 17 positions, the exact shape that used to hit
+        the >16-position reference fallback.  Pin kernel == reference on it,
+        and on a dense random batch of 17-position planes.
+        """
+        from repro.numerics.encodings import get_encoding
+
+        rng = np.random.default_rng(7)
+        values = rng.integers(0, 1 << 16, size=(40, 16))
+        values[0, :] = 0xFFFF  # the synthetic max-span column
+        masks = get_encoding("csd").term_masks(values, bits=16)
+        assert masks.dtype == np.uint32
+        positions = 17
+        planes = (
+            (masks[..., None] >> np.arange(positions, dtype=np.uint32)) & 1
+        ).astype(bool)
+        reference = _reference_drain_cycles(planes, first_stage_bits)
+        batched = batched_drain_cycles(masks, (1 << first_stage_bits,))[0]
+        np.testing.assert_array_equal(batched, reference)
+        np.testing.assert_array_equal(
+            column_drain_cycles(planes, first_stage_bits), reference
+        )
+        np.testing.assert_array_equal(pack_bit_planes(planes), masks)
+
+    def test_uint32_packing_round_trips(self):
+        """pack/unpack helpers agree for storage widths above 16."""
+        rng = np.random.default_rng(8)
+        values = rng.integers(0, 1 << 24, size=(30, 8))
+        masks = pack_drain_masks(values, 24)
+        assert masks.dtype == np.uint32
+        np.testing.assert_array_equal(masks, values.astype(np.uint32))
+        planes = bit_matrix(values, bits=24)
+        np.testing.assert_array_equal(pack_bit_planes(planes), masks)
+        assert packed_essential_terms(masks) == float(planes.sum())
+
     def test_validation_errors(self):
         with pytest.raises(ValueError):
             pack_drain_masks(np.array([1 << 12]), 12)
         with pytest.raises(ValueError):
-            pack_drain_masks(np.array([1]), 17)
+            pack_drain_masks(np.array([1]), KERNEL_MAX_POSITIONS + 1)
         with pytest.raises(ValueError):
             batched_drain_cycles(np.zeros((2, 2), dtype=np.uint16), ())
         with pytest.raises(ValueError):

@@ -50,6 +50,7 @@ class TestRegistry:
             "fig12",
             "ablation",
             "extension_csd",
+            "encodings",
         }
         assert expected == set(runner.EXPERIMENTS)
 
@@ -182,3 +183,74 @@ class TestTraceExperiments:
         four_bit = result.metadata["geomean:4-bit"]
         assert 1.0 < stripes < zero_bit <= four_bit
         assert result.metadata["geomean:2-bit"] == pytest.approx(four_bit, rel=0.05)
+
+
+class TestEncodingExperiments:
+    """The registry-backed encoding experiments against pre-refactor goldens."""
+
+    def test_extension_csd_pins_pre_registry_numbers(self):
+        """extension_csd now counts terms via the registry; the alexnet row
+        and metadata must be bit-identical to the pre-refactor popcount /
+        csd_term_counts implementation (smoke preset, seed 0 goldens)."""
+        from repro.experiments import extension_csd
+
+        result = extension_csd.run(preset="smoke", seed=0)
+        assert result.rows[0] == ["alexnet", "43.2%", "8.5%", "7.1%", "16.1%"]
+        golden = {
+            "alexnet:Stripes": 0.4323407543723599,
+            "alexnet:PRA-fp16": 0.08501699631123717,
+            "alexnet:PRA-csd": 0.07131134218329231,
+            "alexnet:reduction": 0.16121075458570755,
+            "geomean:Stripes": 0.44268374470294847,
+            "geomean:PRA-fp16": 0.07252983180103656,
+            "geomean:PRA-csd": 0.060960373237296236,
+            "geomean:reduction": 0.15951310345621095,
+        }
+        for key, value in golden.items():
+            assert result.metadata[key] == pytest.approx(value, rel=1e-12), key
+
+    def test_encodings_positional_matches_fig9_two_bit(self):
+        """The positional column of the encodings experiment is the PRA-2b
+        point of Figure 9 — same configs, same cache entries, same numbers."""
+        from repro.experiments import encodings, fig9
+
+        encoded = encodings.run(preset=TINY)
+        figure = fig9.run(preset=TINY)
+        assert encoded.metadata["alexnet:positional"] == pytest.approx(
+            figure.metadata["alexnet:2-bit"], rel=1e-12
+        )
+
+    def test_encodings_covers_every_registered_encoding(self):
+        from repro.experiments import encodings
+        from repro.numerics.encodings import encoding_names
+
+        result = encodings.run(preset=TINY)
+        for name in encoding_names():
+            assert f"alexnet:{name}" in result.metadata
+            assert f"geomean:{name}" in result.metadata
+        # Signed encodings reduce term traffic below positional; binary is
+        # the degenerate lossy floor.
+        assert result.metadata["alexnet:csd:terms"] < 1.0
+        assert result.metadata["alexnet:hese:terms"] < 1.0
+        assert (
+            result.metadata["alexnet:binary:terms"]
+            < result.metadata["alexnet:csd:terms"]
+        )
+        assert (
+            result.metadata["alexnet:positional"]
+            <= result.metadata["alexnet:csd"]
+        )
+        assert "binar" in result.notes
+
+    def test_encodings_plan_exposes_job_graph(self):
+        """The runner's dedup hook sees one request per network, each
+        spanning the full registry."""
+        from repro.experiments import encodings
+        from repro.numerics.encodings import encoding_names
+
+        requests = encodings.plan(preset=TINY)
+        assert len(requests) == 1
+        (request,) = requests
+        assert tuple(name for name, _ in request.configs) == encoding_names()
+        for name, config in request.configs:
+            assert config.encoding == name

@@ -9,6 +9,7 @@ different workloads.
 """
 
 import asyncio
+import hashlib
 import json
 import math
 import pathlib
@@ -74,6 +75,41 @@ class TestMixSpec:
         with pytest.raises(MixError, match="overrides"):
             MixSpec.from_dict({"overrides": ["networks"]})
 
+    def test_rejects_unknown_network(self):
+        with pytest.raises(MixError, match="unknown network"):
+            MixSpec.from_dict({"networks": {"resnet50": 1}})
+
+    def test_rejects_unknown_variants_group(self):
+        with pytest.raises(MixError, match="unknown variants group"):
+            MixSpec.from_dict({"variants": "fig99"})
+
+    def test_rejects_unknown_encoding(self):
+        with pytest.raises(MixError, match="unknown encoding"):
+            MixSpec.from_dict({"encodings": {"gray-code": 1}})
+
+    def test_rejects_encodings_group_with_pinned_encodings(self):
+        """variants=encodings already spans the registry; weighting other
+        encodings on top of it is contradictory."""
+        with pytest.raises(MixError, match="spans every encoding"):
+            MixSpec.from_dict({"variants": "encodings", "encodings": {"csd": 1}})
+        # Positional-only (the default) and an explicit default are fine.
+        MixSpec.from_dict({"variants": "encodings"})
+        MixSpec.from_dict({"variants": "encodings", "encodings": {"positional": 1}})
+
+    def test_simulate_fields_round_trip(self):
+        spec = {
+            "simulate_ratio": 0.5,
+            "networks": {"alexnet": 2, "vgg_m": 1},
+            "variants": "fig10",
+            "encodings": {"csd": 1, "hese": 2},
+        }
+        mix = MixSpec.from_dict(spec)
+        assert mix.simulate_ratio == 0.5
+        assert dict(mix.networks) == {"alexnet": 2.0, "vgg_m": 1.0}
+        assert mix.variants == "fig10"
+        assert dict(mix.encodings) == {"csd": 1.0, "hese": 2.0}
+        assert MixSpec.from_dict(mix.to_dict()) == mix
+
     def test_from_file(self, tmp_path):
         path = tmp_path / "mix.json"
         path.write_text(json.dumps({"requests": 5, "seed": 42, "hot_ratio": 1.0}))
@@ -100,6 +136,39 @@ class TestCommittedMixes:
             schedule = mix.schedule()
             assert len(schedule) == mix.requests
             assert schedule == MixSpec.from_file(path).schedule()
+
+    def test_sweep_soak_schedule_unchanged_by_simulate_fields(self):
+        """The simulate/encoding mix fields added no RNG draws to specs that
+        leave them defaulted: the committed soak's compiled schedule is still
+        byte-identical to the pre-encoding format (pinned by hash)."""
+        path = next(p for p in self.mix_files() if p.name == "sweep_soak.json")
+        schedule = MixSpec.from_file(path).schedule()
+        payload = json.dumps(
+            [planned.__dict__ for planned in schedule], sort_keys=True, default=str
+        )
+        digest = hashlib.sha256(payload.encode()).hexdigest()
+        assert digest == (
+            "b6e6f4f8492a6acc2e8d84ef1b6ba88aaa8cb12a856f66d82060748d647cec03"
+        )
+
+    def test_encoding_mix_reaches_every_encoding(self):
+        """The committed mixed-encoding mix schedules simulate traffic under
+        all four registered encodings, deterministically."""
+        from repro.numerics.encodings import encoding_names
+
+        path = next(p for p in self.mix_files() if p.name == "encoding_mix.json")
+        mix = MixSpec.from_file(path)
+        assert set(dict(mix.encodings)) == set(encoding_names())
+        schedule = mix.schedule()
+        simulate = [p for p in schedule if p.message["op"] == "simulate"]
+        assert simulate, "the encoding mix must carry simulate traffic"
+        seen = {p.message.get("encoding", "positional") for p in simulate}
+        assert seen == set(encoding_names())
+        # positional ops omit the field entirely (wire compat with servers
+        # that predate it).
+        assert all("encoding" not in p.message or
+                   p.message["encoding"] != "positional" for p in simulate)
+        assert schedule == MixSpec.from_file(path).schedule()
 
     def test_sweep_soak_targets_the_sweep_engine(self):
         path = next(p for p in self.mix_files() if p.name == "sweep_soak.json")
@@ -145,6 +214,39 @@ class TestSchedule:
         assert [planned.client for planned in schedule] == [
             index % 3 for index in range(10)
         ]
+
+    def test_simulate_free_specs_ignore_simulate_field_values(self):
+        """With simulate_ratio left at 0, the simulate-only fields never touch
+        the RNG: schedules are identical whatever they hold."""
+        base = MixSpec(requests=40, seed=3).schedule()
+        redecorated = MixSpec(
+            requests=40,
+            seed=3,
+            networks=(("vgg_m", 1.0),),
+            variants="fig12",
+            encodings=(("hese", 1.0),),
+        ).schedule()
+        assert base == redecorated
+        assert not any(p.message["op"] == "simulate" for p in base)
+
+    def test_simulate_ratio_emits_cold_simulate_ops(self):
+        mix = MixSpec(
+            requests=60,
+            hot_ratio=0.0,
+            simulate_ratio=1.0,
+            seed=2,
+            encodings=(("csd", 1.0), ("positional", 1.0)),
+        )
+        schedule = mix.schedule()
+        assert all(p.message["op"] == "simulate" for p in schedule)
+        assert all(p.message["variants"] == "fig9" for p in schedule)
+        seeds = [p.message["seed"] for p in schedule]
+        assert len(set(seeds)) == len(seeds)
+        assert {p.message.get("encoding", "positional") for p in schedule} == {
+            "csd",
+            "positional",
+        }
+        assert schedule == mix.schedule()
 
     def test_think_times_deterministic_and_nonnegative(self):
         mix = MixSpec(requests=20, think_seconds=0.05, seed=9)

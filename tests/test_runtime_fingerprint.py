@@ -60,6 +60,58 @@ class TestSimulationKey:
             self.SPEC, self.SAMPLING, pallet_variant(2, software_trimming=False)
         )
 
+    def test_positional_canonical_form_predates_the_encoding_axis(self):
+        """The canonical rendering of a positional config is structurally
+        identical to the pre-encoding-registry one (no ``encoding`` entry at
+        all), so warm caches carried across that refactor still hit.  This
+        pins the exact payload a pre-refactor build would have hashed."""
+        import dataclasses as dc
+
+        from repro.core.accelerator import PragmaticConfig
+
+        config = dc.replace(pallet_variant(2), label=None)
+        canonical = canonicalize(config)
+        assert canonical[1].get("encoding") == "positional"
+        canonical[1].pop("encoding")
+        pre_refactor = [
+            "PragmaticConfig",
+            {
+                "first_stage_bits": 2,
+                "synchronization": "pallet",
+                "ssr_count": 1,
+                "software_trimming": True,
+                "chip": [
+                    "ChipConfig",
+                    {
+                        "tiles": 16,
+                        "filters_per_tile": 16,
+                        "synapses_per_filter_lane": 16,
+                        "pallet_windows": 16,
+                        "storage_bits": 16,
+                        "frequency_ghz": 0.606,
+                        "nm_row_bytes": 512,
+                        "sb_bytes_per_tile": 2097152,
+                        "nm_bytes": 4194304,
+                        "nbin_bytes": 2048,
+                        "nbout_bytes": 2048,
+                    },
+                ],
+                "label": None,
+            },
+        ]
+        assert canonical == pre_refactor
+        # And the stripping happens inside simulation_key: an explicitly
+        # positional config and the field-defaulted one share a key, while a
+        # non-default encoding gets its own.
+        base = simulation_key(self.SPEC, self.SAMPLING, pallet_variant(2))
+        assert base == simulation_key(
+            self.SPEC, self.SAMPLING, dc.replace(pallet_variant(2), encoding="positional")
+        )
+        assert base != simulation_key(
+            self.SPEC, self.SAMPLING, dc.replace(pallet_variant(2), encoding="csd")
+        )
+        assert PragmaticConfig().encoding == "positional"
+
     def test_sampling_changes_change_the_key(self):
         base = simulation_key(self.SPEC, self.SAMPLING, pallet_variant(2))
         wider = SamplingConfig(max_pallets=4, seed=0)

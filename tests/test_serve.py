@@ -90,6 +90,59 @@ class TestProtocol:
         assert isinstance(simulate, SimulateRequest)
         assert len(simulate.simulation_request().configs) == 5  # fig9 variants
 
+    def test_simulate_encoding_field(self):
+        """The encoding param is validated at the protocol edge and applied
+        to every config of the chosen variant group."""
+        request = parse_request(
+            {"op": "simulate", "network": "alexnet", "encoding": "csd"}
+        )
+        assert isinstance(request, SimulateRequest)
+        assert request.encoding == "csd"
+        for _, config in request.simulation_request().configs:
+            assert config.encoding == "csd"
+        # Unknown encodings and junk values are rejected eagerly, before the
+        # request ever reaches the queue.
+        with pytest.raises(ProtocolError):
+            parse_request(
+                {"op": "simulate", "network": "alexnet", "encoding": "gray-code"}
+            )
+        with pytest.raises(ProtocolError):
+            parse_request({"op": "simulate", "network": "alexnet", "encoding": ""})
+        with pytest.raises(ProtocolError):
+            parse_request({"op": "simulate", "network": "alexnet", "encoding": 7})
+
+    def test_simulate_encodings_variant_group(self):
+        """variants=encodings spans the registry; combining it with a pinned
+        non-default encoding is contradictory and rejected."""
+        from repro.numerics.encodings import encoding_names
+
+        request = parse_request(
+            {"op": "simulate", "network": "alexnet", "variants": "encodings"}
+        )
+        configs = request.simulation_request().configs
+        assert tuple(name for name, _ in configs) == encoding_names()
+        with pytest.raises(ProtocolError, match="spans every encoding"):
+            parse_request(
+                {
+                    "op": "simulate",
+                    "network": "alexnet",
+                    "variants": "encodings",
+                    "encoding": "csd",
+                }
+            )
+
+    def test_simulate_keys_differ_per_encoding(self):
+        message = {"op": "simulate", "network": "alexnet"}
+        assert (
+            parse_request(message).key()
+            != parse_request({**message, "encoding": "hese"}).key()
+        )
+        # Explicit positional is the default: same key, same coalescing.
+        assert (
+            parse_request(message).key()
+            == parse_request({**message, "encoding": "positional"}).key()
+        )
+
     def test_encode_decode_round_trip(self):
         message = {"id": "c1", "op": "ping"}
         line = encode(message)
