@@ -3,9 +3,11 @@
 ``python -m repro serve ...`` starts the async serving front-end
 (:mod:`repro.serve.cli`); ``python -m repro cluster ...`` starts the sharded
 multi-worker coordinator (:mod:`repro.cluster.cli`); ``python -m repro
-loadgen ...`` drives sustained traffic against either and gates the perf
-trajectory (:mod:`repro.loadgen.cli`); anything else is the batch experiment
-runner CLI (:mod:`repro.experiments.runner`).
+cacheserve ...`` starts the standalone network cache server
+(:mod:`repro.cachenet.cli`); ``python -m repro loadgen ...`` drives sustained
+traffic against serve/cluster and gates the perf trajectory
+(:mod:`repro.loadgen.cli`); anything else is the batch experiment runner CLI
+(:mod:`repro.experiments.runner`).
 """
 
 import sys
@@ -21,6 +23,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.cluster.cli import main as cluster_main
 
         return cluster_main(argv[1:])
+    if argv and argv[0] == "cacheserve":
+        from repro.cachenet.cli import main as cacheserve_main
+
+        return cacheserve_main(argv[1:])
     if argv and argv[0] == "loadgen":
         from repro.loadgen.cli import main as loadgen_main
 

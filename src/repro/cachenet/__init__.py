@@ -1,0 +1,25 @@
+"""repro.cachenet — the network cache tier (``docs/cachenet.md``).
+
+A standalone cache server (``python -m repro cacheserve``) exposes one
+content-addressed entry store — the same gzip entry codec and lifecycle
+manifest every filesystem cache uses — over a length-prefixed JSON frame
+protocol, so many hosts share one warm cache instead of each keeping its own.
+The client side plugs into the runtime through the
+:class:`~repro.runtime.backends.CacheBackend` seam:
+
+* :class:`~repro.cachenet.backend.RemoteBackend` — a synchronous TCP client
+  with connect/request timeouts, bounded retry with exponential backoff and
+  jitter, and a circuit breaker that degrades to cache-miss (a simulation
+  never fails because the cache tier is down).
+* :class:`~repro.cachenet.backend.TieredBackend` — a write-through
+  memory→remote composite with negative-lookup suppression; what
+  ``--cache-backend remote://host:port`` selects.
+
+``docs/cachenet.md`` documents the protocol, the failure/degradation
+semantics and the backend URI scheme.
+"""
+
+from repro.cachenet.backend import RemoteBackend, TieredBackend, resolve_backend
+from repro.cachenet.server import CacheServer
+
+__all__ = ["RemoteBackend", "TieredBackend", "resolve_backend", "CacheServer"]

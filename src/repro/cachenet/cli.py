@@ -1,0 +1,149 @@
+"""``python -m repro cacheserve`` — the standalone network cache server.
+
+Modes:
+
+* ``--tcp HOST:PORT`` (default ``127.0.0.1:0``) — serve the length-prefixed
+  JSON frame protocol of ``docs/cachenet.md`` until interrupted or a client
+  sends the ``shutdown`` op.  The bound endpoint is announced on stderr
+  (``cacheserve listening on HOST:PORT``), so port ``0`` works in scripts.
+* ``--selftest`` — start an in-process cache server, run a 2-worker cluster
+  cold against ``--cache-backend remote://...``, prove a second cluster of
+  *host-fresh* workers serves the same run warm (``simulated 0 configs``)
+  with zero local filesystem cache, then stop the server and prove clients
+  degrade to recomputation (the degraded counter rises, nothing errors).
+  Exits non-zero on any failure; CI runs this.
+
+``--cache-dir`` names the entry directory (the standard gzip entry files plus
+the lifecycle manifest — a cache server can adopt any existing cache
+directory).  ``--auth-token`` (or ``REPRO_CACHE_TOKEN``) demands a
+constant-time-compared shared secret from every connection.  ``--gc-max-age``
+is the TTL: with ``--gc-interval`` a background thread evicts entries older
+than it; ``--gc-max-bytes`` caps the store LRU-first, same spellings as the
+batch CLI's ``--cache-gc``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.experiments.base import parse_age, parse_size
+from repro.runtime.session import default_cache_dir
+
+__all__ = ["main"]
+
+
+def _parse_endpoint(value: str) -> tuple[str, int]:
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(f"expected HOST:PORT, got {value!r}")
+    return host, int(port)
+
+
+def _selftest() -> int:
+    """Cold/warm/degraded, end to end through a real cluster.
+
+    The heavy lifting lives beside the other cluster selftest checks in
+    :mod:`repro.cluster.cli` (imported lazily — the cluster layer imports this
+    package's backends at module scope).
+    """
+    from repro.cluster.cli import run_cachenet_selftest
+
+    return run_cachenet_selftest()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro cacheserve",
+        description="Serve one shared result-cache tier to remote backends over TCP.",
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--tcp",
+        type=_parse_endpoint,
+        default=("127.0.0.1", 0),
+        metavar="HOST:PORT",
+        help="endpoint to listen on (default: 127.0.0.1:0, ephemeral)",
+    )
+    mode.add_argument(
+        "--selftest",
+        action="store_true",
+        help="run the cold/warm/degraded cachenet checks in-process and exit",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="entry directory to serve (default: ~/.cache/repro-pragmatic "
+        "or $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--auth-token",
+        default=None,
+        metavar="TOKEN",
+        help="require clients to authenticate with this shared secret "
+        "(default: $REPRO_CACHE_TOKEN)",
+    )
+    gc = parser.add_argument_group("background GC / TTL")
+    gc.add_argument(
+        "--gc-interval",
+        type=parse_age,
+        default=60.0,
+        metavar="AGE",
+        help="seconds between background GC passes (default: 60)",
+    )
+    gc.add_argument(
+        "--gc-max-bytes",
+        type=parse_size,
+        default=None,
+        metavar="SIZE",
+        help="byte cap enforced LRU-first by each background pass (e.g. 500M)",
+    )
+    gc.add_argument(
+        "--gc-max-age",
+        "--ttl",
+        type=parse_age,
+        default=None,
+        metavar="AGE",
+        dest="gc_max_age",
+        help="TTL: evict entries unused for AGE (e.g. 30d)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return _selftest()
+
+    if args.auth_token is None:
+        args.auth_token = os.environ.get("REPRO_CACHE_TOKEN") or None
+
+    from repro.cachenet.server import CacheServer
+
+    server = CacheServer(
+        args.cache_dir or default_cache_dir(),
+        auth_token=args.auth_token,
+        gc_max_bytes=args.gc_max_bytes,
+        gc_max_age=args.gc_max_age,
+        gc_interval=args.gc_interval,
+    )
+    host, port = server.start(*args.tcp)
+    print(
+        f"repro cacheserve: listening on {host}:{port} "
+        f"(cache dir: {server.directory})",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        # serve_forever runs on the daemon thread; park until interrupted or
+        # a client's shutdown op stops the server from within.
+        while not server.wait_stopped(timeout=0.5):
+            pass
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,16 @@ Worker death is handled by requeueing: a flight whose worker connection
 drops walks its rendezvous preference order onto the next live worker.
 Everything the dead worker completed is already in the shared cache backend,
 so a requeued flight only recomputes the remainder.
+
+Membership is **elastic** (``docs/cluster.md``): a background monitor task
+auto-respawns spawned workers that die (relaunch + re-register under the same
+worker id, so subsequent rendezvous walks see the replacement), and recycles
+workers after ``max_jobs_per_worker`` completed jobs to bound long-run memory
+growth.  Joining workers — initial, respawned or recycled — are sent a
+``prewarm`` op right after registration so the zero-copy trace fabric is
+mapped before the first flight lands.  Pending flights need no special
+handling on membership changes: every dispatch re-walks the rendezvous rank
+over the *currently* live links, which is exactly the reshuffle.
 """
 
 from __future__ import annotations
@@ -67,6 +77,12 @@ HANDSHAKE_TIMEOUT = 30.0
 #: Per-worker bound on the (concurrent) stats fan-out of the ``stats`` op.
 STATS_TIMEOUT = 5.0
 
+#: Poll cadence of the membership monitor (death detection + recycling).
+MONITOR_INTERVAL = 0.25
+
+#: A flight gives up after this many worker deaths (each one requeues).
+MAX_FLIGHT_REQUEUES = 8
+
 
 class ClusterError(RuntimeError):
     """A cluster-level failure (no live workers, handshake failure, ...)."""
@@ -100,6 +116,9 @@ class WorkerLink:
         self.process = process
         self.dispatched = 0
         self.completed = 0
+        #: Flights currently executing on this worker — recycling waits for
+        #: zero so an in-flight job is never yanked from under a client.
+        self.inflight = 0
 
     @property
     def alive(self) -> bool:
@@ -118,6 +137,7 @@ class WorkerLink:
             "spawned": self.process is not None,
             "dispatched": self.dispatched,
             "completed": self.completed,
+            "inflight": self.inflight,
         }
 
     async def close(self) -> None:
@@ -226,6 +246,16 @@ class ClusterService(ExperimentService):
         directory beside the shared cache — is what makes N workers on one
         host materialize each trace tensor exactly once and map it
         read-only (``docs/cluster.md``).
+    cache_backend:
+        Optional ``--cache-backend`` spec (``remote://host:port``, see
+        ``docs/cachenet.md``) forwarded to every spawned worker and used for
+        the coordinator's own planning session.  The result tier then lives
+        in the network cache instead of the shared directory; ``cache_dir``
+        keeps anchoring the trace fabric only.
+    max_jobs_per_worker:
+        Recycle a spawned worker (terminate + relaunch + re-register) once
+        it has completed this many jobs, bounding per-process memory growth
+        over long serving runs.  ``None`` disables recycling.
     """
 
     def __init__(
@@ -239,11 +269,15 @@ class ClusterService(ExperimentService):
         auth_token: str | None = None,
         trace_dir: str | Path | None = None,
         no_trace_cache: bool = False,
+        cache_backend: str | None = None,
+        max_jobs_per_worker: int | None = None,
     ) -> None:
         if spawn_workers < 0:
             raise ValueError("spawn_workers must be non-negative")
         if spawn_workers == 0 and not connect:
             raise ValueError("a cluster needs spawned workers and/or --connect endpoints")
+        if max_jobs_per_worker is not None and max_jobs_per_worker < 1:
+            raise ValueError("max_jobs_per_worker must be positive")
         self._own_cache_dir = cache_dir is None
         if cache_dir is None:
             cache_dir = tempfile.mkdtemp(prefix="repro-cluster-cache-")
@@ -253,7 +287,10 @@ class ClusterService(ExperimentService):
 
         super().__init__(
             session=worker_session(
-                cache_dir, trace_dir=trace_dir, no_trace_cache=no_trace_cache
+                cache_dir,
+                trace_dir=trace_dir,
+                no_trace_cache=no_trace_cache,
+                cache_backend=cache_backend,
             ),
             workers=concurrent_requests,
             auth_token=auth_token,
@@ -262,6 +299,8 @@ class ClusterService(ExperimentService):
         self.cache_dir = Path(cache_dir)
         self.trace_dir = trace_dir
         self.no_trace_cache = no_trace_cache
+        self.cache_backend = cache_backend
+        self.max_jobs_per_worker = max_jobs_per_worker
         self.spawn_workers = spawn_workers
         self.connect_endpoints = list(connect or [])
         self.worker_processes = worker_processes
@@ -269,10 +308,14 @@ class ClusterService(ExperimentService):
         self.links: dict[str, WorkerLink] = {}
         self._flights: dict[str, _Flight] = {}
         self._flight_tasks: set[asyncio.Task] = set()
+        self._monitor_task: asyncio.Task | None = None
         #: Cluster-level counters surfaced by the ``stats`` op.
         self.flights_dispatched = 0
         self.flights_coalesced = 0
         self.flights_requeued = 0
+        self.workers_respawned = 0
+        self.workers_recycled = 0
+        self.respawn_failures = 0
 
     # ----------------------------------------------------------------- lifecycle
     async def start(self) -> None:
@@ -298,9 +341,17 @@ class ClusterService(ExperimentService):
                 raise failures[0]
             for link in links:
                 self.links[link.worker_id] = link
+            self._monitor_task = asyncio.create_task(
+                self._monitor(), name="repro-cluster-monitor"
+            )
 
     async def stop(self) -> None:
         await super().stop()  # drain running client jobs first: they need links
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._monitor_task
+            self._monitor_task = None
         for task in list(self._flight_tasks):
             task.cancel()
         if self._flight_tasks:
@@ -326,6 +377,8 @@ class ClusterService(ExperimentService):
             "--workers",
             str(self.worker_processes),
         ]
+        if self.cache_backend is not None:
+            argv.extend(["--cache-backend", str(self.cache_backend)])
         if self.no_trace_cache:
             argv.append("--no-trace-cache")
         elif self.trace_dir is not None:
@@ -369,6 +422,19 @@ class ClusterService(ExperimentService):
                         f"worker {host}:{port} rejected registration: "
                         f"{info.get('error', info)}"
                     )
+                # Pre-warm the zero-copy trace fabric on join (initial,
+                # respawned and recycled workers alike): the manifest and
+                # tensor mmaps are mapped before the first flight lands.
+                # Best-effort — a worker without a fabric simply reports
+                # zero artifacts, and a prewarm failure must not fail the
+                # handshake.
+                with contextlib.suppress(Exception):
+                    warmed = await client._roundtrip({"op": "prewarm"})
+                    if warmed.get("event") == "prewarmed":
+                        info["prewarmed"] = {
+                            "tensors": warmed.get("tensors", 0),
+                            "calibrations": warmed.get("calibrations", 0),
+                        }
             except BaseException:
                 await client.close()
                 raise
@@ -378,6 +444,56 @@ class ClusterService(ExperimentService):
             return await asyncio.wait_for(shake(), HANDSHAKE_TIMEOUT)
         except asyncio.TimeoutError as error:
             raise ClusterError(f"worker {host}:{port} handshake timed out") from error
+
+    # --------------------------------------------------------------- membership
+    async def _monitor(self) -> None:
+        """Elastic-membership loop: respawn dead spawned workers, recycle old.
+
+        Only *spawned* links are managed — an attached (``--connect``) worker
+        belongs to whoever started it, so its death merely removes it from
+        the live set (flights requeue onto survivors via the rendezvous
+        walk).  Recycling waits for a link to go idle so no in-flight job is
+        interrupted; the flights it already completed live in the shared
+        cache backend either way.
+        """
+        while True:
+            await asyncio.sleep(MONITOR_INTERVAL)
+            for worker_id, link in list(self.links.items()):
+                if link.process is None or self.links.get(worker_id) is not link:
+                    continue
+                if not link.alive:
+                    await self._replace(worker_id, link, reason="respawned")
+                elif (
+                    self.max_jobs_per_worker is not None
+                    and link.completed >= self.max_jobs_per_worker
+                    and link.inflight == 0
+                ):
+                    await self._replace(worker_id, link, reason="recycled")
+
+    async def _replace(self, worker_id: str, old: WorkerLink, reason: str) -> None:
+        """Close ``old`` and install a freshly spawned worker under its id.
+
+        The replacement re-registers (and pre-warms) through the normal
+        handshake, so from the routing layer's point of view a respawned
+        worker is indistinguishable from a new join: the next rendezvous
+        walk simply sees a live link under the same id again.
+        """
+        await old.close()
+        try:
+            fresh = await self._spawn_worker(worker_id)
+        except Exception:
+            # Leave the dead link in place: it keeps the loss visible in
+            # stats and the monitor retries on its next pass.
+            self.respawn_failures += 1
+            return
+        if self.links.get(worker_id) is old:
+            self.links[worker_id] = fresh
+            if reason == "recycled":
+                self.workers_recycled += 1
+            else:
+                self.workers_respawned += 1
+        else:  # pragma: no cover - lost a replace race; keep the winner
+            await fresh.close()
 
     # ------------------------------------------------------------------ routing
     def live_links(self) -> list[WorkerLink]:
@@ -442,9 +558,20 @@ class ClusterService(ExperimentService):
                     if worker_id not in tried
                 ]
                 if not candidates:
+                    if live and flight.requeues < MAX_FLIGHT_REQUEUES:
+                        # Every live id was already tried, but membership is
+                        # elastic: a live link under a tried id is a *fresh*
+                        # process the monitor respawned (or recycled) since.
+                        # Give the monitor a beat and walk the rank again —
+                        # the requeue cap bounds this, since every tried id
+                        # corresponds to a dispatch that died.
+                        tried.clear()
+                        await asyncio.sleep(MONITOR_INTERVAL)
+                        continue
                     raise ClusterError(
                         "no live workers left for this job "
-                        f"({len(tried)} tried, {len(live)} alive)"
+                        f"({len(tried)} tried, {len(live)} alive, "
+                        f"{flight.requeues} requeue(s))"
                     )
                 worker_id = candidates[0]
                 link = self.links[worker_id]
@@ -483,28 +610,32 @@ class ClusterService(ExperimentService):
         (because every interested client job cancelled).
         """
         link.dispatched += 1
+        link.inflight += 1
         message = dict(flight.message)
         if flight.priority:
             message["priority"] = flight.priority
-        async for event in link.client.stream(message):
-            name = event.get("event")
-            if name in ("queued", "running"):
-                flight.link = link
-                flight.ticket = event.get("ticket", flight.ticket)
-            elif name == "progress":
-                flight.emit_progress(
-                    {**event.get("progress", {}), "worker": link.worker_id}
-                )
-            elif name == "done":
-                link.completed += 1
-                return event
-            elif name == "cancelled":
-                raise SweepCancelled("cancelled on worker")
-            elif name in ("failed", "error"):
-                error = event.get("error", "worker failure")
-                if not link.alive:
-                    raise WorkerDied(f"worker {link.worker_id} died: {error}")
-                raise _FlightFailed(f"worker {link.worker_id}: {error}")
+        try:
+            async for event in link.client.stream(message):
+                name = event.get("event")
+                if name in ("queued", "running"):
+                    flight.link = link
+                    flight.ticket = event.get("ticket", flight.ticket)
+                elif name == "progress":
+                    flight.emit_progress(
+                        {**event.get("progress", {}), "worker": link.worker_id}
+                    )
+                elif name == "done":
+                    link.completed += 1
+                    return event
+                elif name == "cancelled":
+                    raise SweepCancelled("cancelled on worker")
+                elif name in ("failed", "error"):
+                    error = event.get("error", "worker failure")
+                    if not link.alive:
+                        raise WorkerDied(f"worker {link.worker_id} died: {error}")
+                    raise _FlightFailed(f"worker {link.worker_id}: {error}")
+        finally:
+            link.inflight -= 1
         # Stream ended without a terminal event: the connection is gone.
         raise WorkerDied(f"worker {link.worker_id} stream ended unexpectedly")
 
@@ -710,6 +841,11 @@ class ClusterService(ExperimentService):
             "flights_requeued": self.flights_requeued,
             "flights_inflight": len(self._flights),
             "workers_lost": sum(1 for link in self.links.values() if not link.alive),
+            "workers_respawned": self.workers_respawned,
+            "workers_recycled": self.workers_recycled,
+            "respawn_failures": self.respawn_failures,
+            "max_jobs_per_worker": self.max_jobs_per_worker,
+            "cache_backend": self.cache_backend,
             "cache_dir": str(self.cache_dir),
             "trace_dir": str(
                 resolve_trace_dir(self.cache_dir, self.trace_dir, self.no_trace_cache)

@@ -25,6 +25,7 @@ serve process that learned two more ops.
 
 from __future__ import annotations
 
+import asyncio
 import os
 from pathlib import Path
 
@@ -48,12 +49,17 @@ def worker_session(
     cache_dir: str | Path | None,
     trace_dir: str | Path | None = None,
     no_trace_cache: bool = False,
+    cache_backend: object | None = None,
 ) -> RuntimeSession:
     """A session whose cache is safe to share with sibling worker processes.
 
-    The trace store is wired through the zero-copy trace fabric
-    (:mod:`repro.runtime.trace_cache`) against the same resolution rule as
-    :func:`~repro.runtime.session.configure_session` — by default a
+    ``cache_backend`` (a ``--cache-backend`` spec such as
+    ``remote://host:port``, see ``docs/cachenet.md``) replaces the
+    shared-directory result tier with the network cache tier — a worker then
+    runs with zero local filesystem cache while still observing every sibling
+    host's stores.  The trace store is wired through the zero-copy trace
+    fabric (:mod:`repro.runtime.trace_cache`) against the same resolution
+    rule as :func:`~repro.runtime.session.configure_session` — by default a
     ``traces/`` directory beside the shared cache, so every worker on the
     host maps one physical copy of each trace tensor.
     """
@@ -65,6 +71,12 @@ def worker_session(
         from repro.runtime import TraceArtifactStore, TraceStore
 
         traces = TraceStore(artifacts=TraceArtifactStore(resolved))
+    if cache_backend is not None:
+        from repro.cachenet.backend import resolve_backend
+
+        return RuntimeSession(
+            cache=ResultCache(backend=resolve_backend(cache_backend)), traces=traces
+        )
     if cache_dir is None:
         return RuntimeSession(cache=ResultCache(), traces=traces)
     return RuntimeSession(
@@ -169,6 +181,18 @@ class WorkerService(ExperimentService):
             context.registered = True
             self.registrations += 1
             reply(self.registration_info())
+            return True
+        if op == "prewarm":
+            if not context.registered:
+                reply({"event": "error", "error": "prewarm requires a registered coordinator"})
+                return True
+            artifacts = getattr(self.session.traces, "artifacts", None)
+            warmed = {"tensors": 0, "calibrations": 0}
+            if artifacts is not None:
+                # Manifest refresh + mmap opens are blocking I/O; keep the
+                # event loop responsive while the fabric warms.
+                warmed = await asyncio.to_thread(artifacts.prewarm)
+            reply({"event": "prewarmed", **warmed})
             return True
         if op in INTERNAL_JOB_OPS and not context.registered:
             reply({"event": "error", "error": f"{op} requires a registered coordinator"})

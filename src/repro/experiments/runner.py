@@ -254,6 +254,14 @@ def main(argv: list[str] | None = None) -> int:
         "--no-cache", action="store_true", help="disable the result cache entirely"
     )
     parser.add_argument(
+        "--cache-backend",
+        default=None,
+        metavar="SPEC",
+        help="result-cache backend URI instead of --cache-dir: "
+        "remote://HOST:PORT (network cache tier, see docs/cachenet.md), "
+        "memory://, or a directory path",
+    )
+    parser.add_argument(
         "--trace-dir",
         default=None,
         metavar="DIR",
@@ -323,7 +331,14 @@ def main(argv: list[str] | None = None) -> int:
     from repro.runtime.session import default_cache_dir
 
     names = list(EXPERIMENTS) if args.all else [args.experiment]
-    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    if args.no_cache:
+        cache_dir = None
+    elif args.cache_backend is not None:
+        # Results go to the backend; an explicit --cache-dir still anchors
+        # the trace fabric, but don't conjure the default dir for it.
+        cache_dir = args.cache_dir
+    else:
+        cache_dir = args.cache_dir or default_cache_dir()
     report = run_experiments(
         names,
         preset=args.preset,
@@ -333,6 +348,7 @@ def main(argv: list[str] | None = None) -> int:
         no_cache=args.no_cache,
         trace_dir=args.trace_dir,
         no_trace_cache=args.no_trace_cache,
+        cache_backend=args.cache_backend,
     )
 
     for result in report.results.values():

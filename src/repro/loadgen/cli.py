@@ -64,10 +64,17 @@ class SpawnError(RuntimeError):
 class _SpawnedTarget:
     """A serve/cluster subprocess owned by this load run (hermetic)."""
 
-    def __init__(self, kind: str, workers: int, worker_processes: int) -> None:
+    def __init__(
+        self,
+        kind: str,
+        workers: int,
+        worker_processes: int,
+        cache_backend: str | None = None,
+    ) -> None:
         self.kind = kind
         self.workers = workers
         self.worker_processes = worker_processes
+        self.cache_backend = cache_backend
         self.process: asyncio.subprocess.Process | None = None
         self.host: str | None = None
         self.port: int | None = None
@@ -76,20 +83,24 @@ class _SpawnedTarget:
     def _command(self) -> list[str]:
         if self.kind == "serve":
             self._tmp = tempfile.TemporaryDirectory(prefix="repro-loadgen-cache-")
-            return [
+            command = [
                 sys.executable, "-m", "repro", "serve",
                 "--tcp", "127.0.0.1:0",
                 "--workers", str(self.workers),
                 "--cache-dir", self._tmp.name,
             ]
-        # Cluster: cache_dir omitted on purpose — the coordinator creates and
-        # removes a private shared directory itself.
-        return [
-            sys.executable, "-m", "repro", "cluster",
-            "--tcp", "127.0.0.1:0",
-            "--workers", str(self.workers),
-            "--worker-processes", str(self.worker_processes),
-        ]
+        else:
+            # Cluster: cache_dir omitted on purpose — the coordinator creates
+            # and removes a private shared directory itself.
+            command = [
+                sys.executable, "-m", "repro", "cluster",
+                "--tcp", "127.0.0.1:0",
+                "--workers", str(self.workers),
+                "--worker-processes", str(self.worker_processes),
+            ]
+        if self.cache_backend is not None:
+            command.extend(["--cache-backend", self.cache_backend])
+        return command
 
     async def __aenter__(self) -> "_SpawnedTarget":
         self.process = await asyncio.create_subprocess_exec(
@@ -197,7 +208,10 @@ def _build_mix(args) -> MixSpec:
 
 async def _run(args, mix: MixSpec) -> int:
     if args.spawn:
-        async with _SpawnedTarget(args.spawn, args.workers, args.worker_processes) as target:
+        async with _SpawnedTarget(
+            args.spawn, args.workers, args.worker_processes,
+            cache_backend=args.cache_backend,
+        ) as target:
             swarm = LoadSwarm(
                 mix, target.host, target.port, auth_token=args.auth_token, target=args.spawn
             )
@@ -279,6 +293,12 @@ def main(argv: list[str] | None = None) -> int:
         "--worker-processes", type=int, default=2, metavar="K",
         help="--spawn cluster: concurrent jobs per worker (default: 2)",
     )
+    parser.add_argument(
+        "--cache-backend", default=None, metavar="SPEC",
+        help="--spawn: mount a result-cache backend spec on the target "
+        "(e.g. remote://HOST:PORT, docs/cachenet.md) instead of its "
+        "private temp cache; the report then carries a remote_cache block",
+    )
     mix_group = parser.add_argument_group("request mix (see docs/loadgen.md)")
     mix_group.add_argument("--mix", metavar="FILE", help="JSON mix spec (flags override fields)")
     mix_group.add_argument("--requests", type=int, default=None, metavar="N")
@@ -326,6 +346,9 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("pick a target: --spawn serve|cluster or --connect HOST:PORT")
     if args.workers < 1 or args.worker_processes < 1:
         parser.error("--workers and --worker-processes must be at least 1")
+    if args.cache_backend and not args.spawn:
+        parser.error("--cache-backend requires --spawn (a connected target "
+                     "already chose its backend)")
     try:
         mix = _build_mix(args)
     except (MixError, ValueError) as error:

@@ -65,6 +65,10 @@ class LoadReport:
     #: Zero-copy trace fabric counters (builds vs mmap opens vs reuses and
     #: artifact bytes shared) — fleet-merged against a cluster coordinator.
     trace_fabric: dict | None = None
+    #: Network cache tier counters (``docs/cachenet.md``) — present when the
+    #: target mounts a ``--cache-backend remote://`` tier: remote hit/miss/
+    #: degraded totals and the tier endpoint, from the server's ``stats`` op.
+    remote_cache: dict | None = None
 
     # ------------------------------------------------------------------ derived
     @property
@@ -119,6 +123,8 @@ class LoadReport:
             payload["cluster_coalescing"] = self.cluster_coalescing
         if self.trace_fabric is not None:
             payload["trace_fabric"] = self.trace_fabric
+        if self.remote_cache is not None:
+            payload["remote_cache"] = self.remote_cache
         return payload
 
     def to_json(self) -> str:
@@ -170,6 +176,14 @@ class LoadReport:
                 f"({fabric.get('bytes_shared', 0)} bytes shared), "
                 f"{fabric.get('calibrations_computed', 0)} calibrations computed / "
                 f"{fabric.get('calibrations_loaded', 0)} loaded"
+            )
+        if self.remote_cache:
+            remote = self.remote_cache
+            lines.append(
+                f"  remote     {remote.get('endpoint', '?')}: "
+                f"{remote.get('hits', 0)} hits / {remote.get('misses', 0)} misses, "
+                f"{remote.get('degraded', 0)} degraded, "
+                f"{remote.get('suppressed_lookups', 0)} negative-suppressed"
             )
         if self.utilization is not None:
             lines.append(

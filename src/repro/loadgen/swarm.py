@@ -192,6 +192,22 @@ class LoadSwarm:
         report.server_queue = stats.get("queue", {})
         report.workers = stats.get("workers")
         report.trace_fabric = _trace_fabric_section(stats.get("stats", {}))
+        cache = stats.get("cache") or {}
+        if "remote_endpoint" in cache:
+            # The target mounts a network cache tier (docs/cachenet.md):
+            # surface the queried process's remote counters — for a cluster
+            # that is the coordinator, whose planning probes make its
+            # hit/miss/degraded totals track the whole run's tier health.
+            report.remote_cache = {
+                "endpoint": cache.get("remote_endpoint"),
+                "reachable": cache.get("remote_reachable"),
+                "backend": cache.get("backend"),
+                "hits": cache.get("remote_hits", 0),
+                "misses": cache.get("remote_misses", 0),
+                "degraded": cache.get("remote_degraded", 0),
+                "negative_entries": cache.get("negative_entries", 0),
+                "suppressed_lookups": cache.get("suppressed_lookups", 0),
+            }
         cluster = stats.get("cluster")
         if cluster:
             report.cluster_coalescing = cluster.get("coalescing")

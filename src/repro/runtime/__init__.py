@@ -24,7 +24,9 @@ Layering::
 
 The job model, cache-key scheme and session semantics are documented in
 ``docs/runtime.md``; :mod:`repro.serve` builds the async serving front-end on
-top of this package.
+top of this package, and :mod:`repro.cachenet` (``docs/cachenet.md``) plugs a
+network-shared cache tier into the ``backends`` seam
+(``--cache-backend remote://host:port``).
 """
 
 from repro.core.progress import ProgressToken, SweepCancelled

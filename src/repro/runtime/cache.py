@@ -67,6 +67,14 @@ class CacheStats:
       caches* (one per cluster worker process); taking ``max`` would silently
       under-report aggregate footprint.  The cluster coordinator merges
       worker snapshots this way (``docs/cluster.md``).
+
+    ``shared_gauges`` qualifies the distinct mode: a snapshot whose *storage*
+    is shared across processes (the shared-directory backend, the network
+    cache tier of ``docs/cachenet.md``) sets it, and its ``disk_entries``/
+    ``disk_bytes`` then max-merge even under ``distinct_caches=True`` — every
+    worker reports the same shared tier, and summing it once per worker would
+    multiply the fleet's footprint by the worker count.  ``memo_entries``
+    stays per-process (each worker's memo really is distinct) and still sums.
     """
 
     hits: int = 0
@@ -77,6 +85,7 @@ class CacheStats:
     disk_bytes: int = 0
     memo_entries: int = 0
     oldest_age_seconds: float = 0.0
+    shared_gauges: bool = False
 
     def merge(self, other: "CacheStats | dict", distinct_caches: bool = False) -> None:
         """Accumulate counters (and max- or sum-merge gauges) from ``other``."""
@@ -86,10 +95,17 @@ class CacheStats:
         self.misses += other.get("misses", 0)
         self.stores += other.get("stores", 0)
         self.errors += other.get("errors", 0)
-        gauge = (lambda mine, theirs: mine + theirs) if distinct_caches else max
+        shared = self.shared_gauges or bool(other.get("shared_gauges", False))
+        gauge = (
+            (lambda mine, theirs: mine + theirs)
+            if distinct_caches and not shared
+            else max
+        )
         self.disk_entries = gauge(self.disk_entries, other.get("disk_entries", 0))
         self.disk_bytes = gauge(self.disk_bytes, other.get("disk_bytes", 0))
-        self.memo_entries = gauge(self.memo_entries, other.get("memo_entries", 0))
+        memo = (lambda mine, theirs: mine + theirs) if distinct_caches else max
+        self.memo_entries = memo(self.memo_entries, other.get("memo_entries", 0))
+        self.shared_gauges = shared
         # Entry age is a maximum in both modes: ages never add up across
         # caches, the fleet's oldest entry is simply the oldest anywhere.
         self.oldest_age_seconds = max(
@@ -106,6 +122,7 @@ class CacheStats:
             "disk_bytes": self.disk_bytes,
             "memo_entries": self.memo_entries,
             "oldest_age_seconds": self.oldest_age_seconds,
+            "shared_gauges": self.shared_gauges,
         }
 
 
@@ -245,7 +262,7 @@ class ResultCache:
         backends) — no directory scan.
         """
         usage = self.backend.usage() if self.enabled else {"entries": 0, "disk_bytes": 0}
-        return {
+        payload = {
             "entries": usage.get("entries", 0),
             "memo_entries": len(self._memory),
             "directory": str(self.directory) if self.directory is not None else None,
@@ -254,6 +271,14 @@ class ResultCache:
             "oldest_age_seconds": usage.get("oldest_age_seconds"),
             "lru_age_seconds": usage.get("lru_age_seconds"),
         }
+        # The network cache tier (docs/cachenet.md) reports extra gauges —
+        # remote hit/miss/degraded counters, negative-lookup suppression —
+        # that run summaries, the serve ``stats`` op and loadgen reports
+        # surface; pass them through rather than flattening them away.
+        for key, value in usage.items():
+            if key.startswith(("remote_", "negative_", "suppressed_", "memory_")):
+                payload[key] = value
+        return payload
 
     def snapshot(self) -> CacheStats:
         """This cache's counters plus current state gauges (see CacheStats)."""
@@ -264,6 +289,10 @@ class ResultCache:
         snapshot.disk_bytes = usage["disk_bytes"]
         snapshot.memo_entries = usage["memo_entries"]
         snapshot.oldest_age_seconds = usage["oldest_age_seconds"] or 0.0
+        # Shared storage (shared directory, remote tier) is reported by every
+        # process that mounts it; mark the gauges so fleet merges don't count
+        # the same bytes once per worker (see CacheStats).
+        snapshot.shared_gauges = self.enabled and self.backend.shared
         return snapshot
 
     def gc(

@@ -100,6 +100,7 @@ def _init_worker(
     no_cache: bool,
     trace_dir: str | None = None,
     no_trace_cache: bool = False,
+    cache_backend: str | None = None,
 ) -> None:
     """Pool initializer: give the worker process its own configured session."""
     configure_session(
@@ -107,6 +108,7 @@ def _init_worker(
         no_cache=no_cache,
         trace_dir=trace_dir,
         no_trace_cache=no_trace_cache,
+        cache_backend=cache_backend,
     )
 
 
@@ -186,6 +188,7 @@ def _run_parallel(
     jobs: int,
     session: RuntimeSession,
     stats: RunStats,
+    cache_backend: str | None = None,
 ) -> dict[str, ExperimentResult]:
     """Dependency-wavefront execution over a process pool."""
     cache_dir = str(session.cache.directory) if session.cache.directory else None
@@ -201,7 +204,7 @@ def _run_parallel(
             max_workers=jobs,
             mp_context=context,
             initializer=_init_worker,
-            initargs=(cache_dir, no_cache, trace_dir, no_trace_cache),
+            initargs=(cache_dir, no_cache, trace_dir, no_trace_cache, cache_backend),
         )
     except (OSError, PermissionError) as error:
         # Normalize "cannot create a pool at all" to the executor failure the
@@ -250,6 +253,7 @@ def run_experiments(
     no_cache: bool = False,
     trace_dir: str | Path | None = None,
     no_trace_cache: bool = False,
+    cache_backend: str | None = None,
 ) -> RunReport:
     """Run experiments through the runtime and reassemble results deterministically.
 
@@ -273,13 +277,23 @@ def run_experiments(
         (see :func:`~repro.runtime.session.resolve_trace_dir`); only honored
         when this call builds its own session (``cache_dir``/``no_cache``
         given), otherwise the caller's session wiring stands.
+    cache_backend:
+        ``--cache-backend`` URI spec (e.g. ``remote://host:port``) selecting
+        the result-tier backend instead of ``cache_dir``; resolved by
+        :func:`repro.cachenet.backend.resolve_backend` and re-resolved in
+        every pool worker (a backend instance cannot cross a process spawn).
     """
     preset = get_preset(preset)
     started = time.perf_counter()
-    if no_cache or cache_dir is not None:
-        cache = (
-            ResultCache.disabled() if no_cache else ResultCache(directory=cache_dir)
-        )
+    if no_cache or cache_dir is not None or cache_backend is not None:
+        if no_cache:
+            cache = ResultCache.disabled()
+        elif cache_backend is not None:
+            from repro.cachenet.backend import resolve_backend
+
+            cache = ResultCache(backend=resolve_backend(cache_backend))
+        else:
+            cache = ResultCache(directory=cache_dir)
         resolved = resolve_trace_dir(
             None if no_cache else cache_dir, trace_dir, no_trace_cache
         )
@@ -315,7 +329,7 @@ def run_experiments(
 
     if jobs > 1:
         try:
-            unordered = _run_parallel(plan, jobs, session, stats)
+            unordered = _run_parallel(plan, jobs, session, stats, cache_backend)
             results = {name: unordered[name] for name in names}
             mode = "parallel"
         except concurrent.futures.BrokenExecutor:

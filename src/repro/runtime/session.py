@@ -216,17 +216,27 @@ def configure_session(
     no_cache: bool = False,
     trace_dir: str | Path | None = None,
     no_trace_cache: bool = False,
+    cache_backend: object | None = None,
 ) -> RuntimeSession:
     """Install (and return) a fresh process-wide default session.
 
     ``cache_dir`` selects the shared on-disk cache; ``None`` keeps the cache
-    in memory.  ``no_cache`` disables result caching entirely.  ``trace_dir``/
+    in memory.  ``no_cache`` disables result caching entirely.
+    ``cache_backend`` overrides ``cache_dir`` for the *result* tier: a
+    ``--cache-backend`` URI spec (e.g. ``remote://host:port``) or a
+    :class:`~repro.runtime.backends.CacheBackend` instance, resolved by
+    :func:`repro.cachenet.backend.resolve_backend` (``docs/cachenet.md``);
+    the trace fabric still resolves against ``cache_dir``.  ``trace_dir``/
     ``no_trace_cache`` control the zero-copy trace fabric independently (see
     :func:`resolve_trace_dir` for the resolution rule).
     """
     global _DEFAULT
     if no_cache:
         cache = ResultCache.disabled()
+    elif cache_backend is not None:
+        from repro.cachenet.backend import resolve_backend
+
+        cache = ResultCache(backend=resolve_backend(cache_backend))
     else:
         cache = ResultCache(directory=cache_dir)
     resolved = resolve_trace_dir(cache_dir, trace_dir, no_trace_cache)

@@ -232,6 +232,35 @@ class TraceArtifactStore:
             self.manifest.record_store(key, "trace_calibration", size)
         return calibration
 
+    def prewarm(self) -> dict:
+        """Open every existing artifact once (elastic-join pre-warm).
+
+        A worker joining a host with a warm fabric (``docs/cluster.md``)
+        refreshes its manifest view, maps each tensor artifact and validates
+        each calibration entry up front, so its first planned job starts from
+        read-only mmaps instead of discovering (or torn-file-recovering) the
+        artifacts one by one on the hot path.  Returns how many of each kind
+        were warmed.
+        """
+        self.manifest.refresh()
+        tensors = calibrations = 0
+        for key, meta in self.manifest.entries().items():
+            tensor_path = lifecycle.tensor_path(self.directory, key)
+            kind = meta.get("kind")
+            if kind == "trace_tensor" or (kind is None and tensor_path.exists()):
+                if self._open(key, tensor_path) is not None:
+                    tensors += 1
+                continue
+            entry_path = lifecycle.find_entry(self.directory, key)
+            if entry_path is None:
+                continue
+            try:
+                lifecycle.read_entry(entry_path)
+            except (OSError, ValueError):
+                continue
+            calibrations += 1
+        return {"tensors": tensors, "calibrations": calibrations}
+
     # -------------------------------------------------------------- observation
     def counters(self) -> dict:
         """Snapshot of the fabric counters (the session stats overlay)."""

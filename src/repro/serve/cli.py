@@ -175,6 +175,7 @@ async def _run_worker(args) -> int:
                 cache_dir,
                 trace_dir=args.trace_dir,
                 no_trace_cache=args.no_trace_cache,
+                cache_backend=args.cache_backend,
             ),
             workers=args.workers,
             auth_token=args.auth_token,
@@ -270,6 +271,14 @@ def main(argv: list[str] | None = None) -> int:
         "--no-cache", action="store_true", help="disable the result cache entirely"
     )
     parser.add_argument(
+        "--cache-backend",
+        default=None,
+        metavar="SPEC",
+        help="result-cache backend URI instead of --cache-dir: "
+        "remote://HOST:PORT (network cache tier, see docs/cachenet.md), "
+        "memory://, or a directory path",
+    )
+    parser.add_argument(
         "--trace-dir",
         default=None,
         metavar="DIR",
@@ -325,7 +334,14 @@ def main(argv: list[str] | None = None) -> int:
 
     from repro.serve.service import ExperimentService
 
-    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    if args.no_cache:
+        cache_dir = None
+    elif args.cache_backend is not None:
+        # Results go to the backend; an explicit --cache-dir still anchors
+        # the trace fabric, but don't conjure the default dir for it.
+        cache_dir = args.cache_dir
+    else:
+        cache_dir = args.cache_dir or default_cache_dir()
     service = ExperimentService(
         cache_dir=cache_dir,
         no_cache=args.no_cache,
@@ -336,6 +352,7 @@ def main(argv: list[str] | None = None) -> int:
         auth_token=args.auth_token,
         trace_dir=args.trace_dir,
         no_trace_cache=args.no_trace_cache,
+        cache_backend=args.cache_backend,
     )
 
     async def run_tcp(host: str, port: int) -> None:

@@ -111,6 +111,11 @@ class ExperimentService:
         caching; defaults to ``<cache-dir>/traces`` beside a disk cache
         (see :func:`~repro.runtime.session.resolve_trace_dir`).  Ignored when
         an explicit ``session`` is supplied.
+    cache_backend:
+        ``--cache-backend`` URI spec (or a backend instance) selecting the
+        result tier instead of ``cache_dir`` — e.g. ``remote://host:port``
+        for the network cache tier (``docs/cachenet.md``).  The trace fabric
+        still resolves against ``cache_dir``.
     """
 
     #: Wire ops this service parses into queue jobs (subclasses may extend).
@@ -129,10 +134,15 @@ class ExperimentService:
         executor=None,
         trace_dir: str | Path | None = None,
         no_trace_cache: bool = False,
+        cache_backend: object | None = None,
     ) -> None:
         if session is None:
             if no_cache:
                 cache = ResultCache.disabled()
+            elif cache_backend is not None:
+                from repro.cachenet.backend import resolve_backend
+
+                cache = ResultCache(backend=resolve_backend(cache_backend))
             else:
                 cache = ResultCache(directory=cache_dir)
             resolved = resolve_trace_dir(

@@ -23,6 +23,7 @@ REQUIRED = (
     "docs/runtime.md",
     "docs/serving.md",
     "docs/cluster.md",
+    "docs/cachenet.md",
     "docs/loadgen.md",
 )
 
@@ -86,6 +87,7 @@ def test_readme_links_the_docs_site():
         "docs/runtime.md",
         "docs/serving.md",
         "docs/cluster.md",
+        "docs/cachenet.md",
         "docs/loadgen.md",
     ):
         assert page in readme, f"README does not link {page}"
@@ -97,6 +99,7 @@ def test_runtime_and_serve_modules_name_their_docs():
         ("runtime", "docs/runtime.md"),
         ("serve", "docs/serving.md"),
         ("cluster", "docs/cluster.md"),
+        ("cachenet", "docs/cachenet.md"),
         ("loadgen", "docs/loadgen.md"),
     ):
         for source in sorted((REPO_ROOT / "src" / "repro" / package).glob("*.py")):

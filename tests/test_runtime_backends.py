@@ -4,12 +4,17 @@ One parametrized battery runs against all backends, pinning the interface
 contract ``ResultCache`` (and therefore every layer above it) relies on:
 store/load/probe semantics, usage accounting, clear, corruption handling,
 persistence across instances, and multi-process-style sharing for the
-backends that claim it.  Backend-specific behaviour (GC, manifest sync) gets
-targeted classes below the shared battery.
+backends that claim it.  The network cache tier (``docs/cachenet.md``) runs
+the same battery against an in-process :class:`CacheServer` — both the bare
+:class:`RemoteBackend` client and the ``--cache-backend remote://`` composite
+:class:`TieredBackend`.  Backend-specific behaviour (GC, manifest sync,
+degradation, negative suppression) gets targeted classes below the shared
+battery.
 """
 
 import gzip
 import json
+import time
 
 import pytest
 
@@ -22,7 +27,7 @@ from repro.runtime.backends import (
 )
 from repro.runtime.cache import CacheStats, ResultCache
 
-BACKENDS = ("memory", "filesystem", "shared")
+BACKENDS = ("memory", "filesystem", "shared", "remote", "tiered")
 
 
 @pytest.fixture
@@ -31,8 +36,11 @@ def make_backend(tmp_path):
 
     Repeated calls with the same flavour return backends over the *same*
     storage (a second filesystem backend sees the first one's entries), which
-    is what the persistence and sharing tests need.
+    is what the persistence and sharing tests need.  The remote flavours
+    share one lazily started in-process cache server per test, reachable as
+    ``make_backend.cachenet_server``.
     """
+    state = {"server": None, "endpoint": None, "clients": []}
 
     def build(flavour: str):
         if flavour == "memory":
@@ -41,9 +49,26 @@ def make_backend(tmp_path):
             return FilesystemBackend(tmp_path / "cache")
         if flavour == "shared":
             return SharedDirectoryBackend(tmp_path / "cache", sync_interval=0.0)
+        if flavour in ("remote", "tiered"):
+            from repro.cachenet.backend import RemoteBackend, TieredBackend
+            from repro.cachenet.server import CacheServer
+
+            if state["server"] is None:
+                state["server"] = CacheServer(directory=tmp_path / "remote-cache")
+                state["endpoint"] = state["server"].start()
+                build.cachenet_server = state["server"]
+            host, port = state["endpoint"]
+            # retries=0: degradation tests should fail fast, not back off.
+            remote = RemoteBackend(host, port, retries=0, backoff=0.0)
+            state["clients"].append(remote)
+            return remote if flavour == "remote" else TieredBackend(remote)
         raise AssertionError(flavour)
 
-    return build
+    yield build
+    for client in state["clients"]:
+        client.close()
+    if state["server"] is not None:
+        state["server"].stop()
 
 
 @pytest.mark.parametrize("flavour", BACKENDS)
@@ -217,6 +242,123 @@ class TestSharedDirectoryBackend:
         assert b.load("k1", "network_result") == {"a": 1}
 
 
+class TestNetworkCacheTier:
+    """Cachenet-specific semantics the shared battery cannot express."""
+
+    @pytest.mark.parametrize("flavour", ["remote", "tiered"])
+    def test_corrupt_server_entry_recovers_as_miss(self, make_backend, flavour):
+        """Server-side damage surfaces as CorruptEntry once, then a miss."""
+        backend = make_backend(flavour)
+        backend.store("k1", {"a": 1}, "network_result")
+        server = make_backend.cachenet_server
+        lifecycle.entry_path(server.backend.directory, "k1").write_bytes(b"garbage")
+        # A fresh client (empty memory tier) must take the remote path.
+        reader = make_backend(flavour)
+        with pytest.raises(CorruptEntry):
+            reader.load("k1", "network_result")
+        # The server dropped the damaged entry: subsequent loads miss cleanly.
+        assert reader.load("k1", "network_result") is None
+
+    @pytest.mark.parametrize("flavour", ["remote", "tiered"])
+    def test_result_cache_recomputes_after_remote_corruption(
+        self, make_backend, flavour
+    ):
+        cache = ResultCache(backend=make_backend(flavour))
+        cache.put("k1", {"a": 1})
+        cache._memory.clear()  # force the next get through the backend
+        server = make_backend.cachenet_server
+        lifecycle.entry_path(server.backend.directory, "k1").write_bytes(b"garbage")
+        fresh = ResultCache(backend=make_backend(flavour))
+        assert fresh.get("k1") is None
+        assert fresh.stats.errors == 1
+        fresh.put("k1", {"a": 2})  # recompute-and-store works afterwards
+        assert ResultCache(backend=make_backend(flavour)).get("k1") == {"a": 2}
+
+    @pytest.mark.parametrize("flavour", ["remote", "tiered"])
+    def test_ttl_expiry_through_remote_gc(self, make_backend, flavour):
+        backend = make_backend(flavour)
+        backend.store("k1", {"a": 1}, "network_result")
+        time.sleep(0.02)
+        result = backend.gc(max_age=0.01)
+        assert result.removed_entries == 1
+        assert "k1" in result.removed_keys
+        # The tiered memory copy must not outlive the authoritative entry.
+        reader = make_backend(flavour)
+        assert reader.load("k1", "network_result") is None
+
+    @pytest.mark.parametrize("flavour", ["remote", "tiered"])
+    def test_dead_server_degrades_to_miss(self, make_backend, flavour):
+        backend = make_backend(flavour)
+        backend.store("k1", {"a": 1}, "network_result")
+        make_backend.cachenet_server.stop()
+        if flavour == "tiered":
+            # The warm memory tier outlives the server — that is the point
+            # of the write-through composite.
+            assert backend.load("k1", "network_result") == {"a": 1}
+        # A fresh client (no warm memory tier) degrades to a miss, not a raise.
+        reader = make_backend(flavour)
+        assert reader.load("k1", "network_result") is None
+        assert reader.probe("k1", "network_result") is False
+        reader.store("k2", {"b": 2}, "network_result")  # swallowed, not raised
+        reader.touch("k1")
+        usage = reader.usage()
+        assert usage["remote_reachable"] is False
+        assert usage["remote_degraded"] > 0
+
+    def test_wrong_auth_token_degrades(self, tmp_path):
+        from repro.cachenet.backend import RemoteBackend
+        from repro.cachenet.server import CacheServer
+
+        server = CacheServer(directory=tmp_path / "secured", auth_token="secret")
+        host, port = server.start()
+        try:
+            good = RemoteBackend(host, port, auth_token="secret", retries=0)
+            good.store("k1", {"a": 1}, "network_result")
+            assert good.load("k1", "network_result") == {"a": 1}
+            bad = RemoteBackend(host, port, auth_token="wrong", retries=0)
+            assert bad.load("k1", "network_result") is None  # degraded miss
+            assert bad.usage()["remote_degraded"] > 0
+            good.close()
+            bad.close()
+        finally:
+            server.stop()
+
+    def test_negative_lookups_are_suppressed(self, make_backend):
+        backend = make_backend("tiered")
+        hits_before = backend.remote.remote_misses
+        assert backend.load("absent", "network_result") is None
+        assert backend.probe("absent", "network_result") is False
+        assert backend.probe("absent", "network_result") is False
+        # One remote round trip; the repeats were answered by the negative
+        # cache within its TTL window.
+        assert backend.remote.remote_misses == hits_before + 1
+        assert backend.suppressed >= 2
+        # A store invalidates the negative entry immediately.
+        backend.store("absent", {"a": 1}, "network_result")
+        assert backend.load("absent", "network_result") == {"a": 1}
+
+    def test_resolve_backend_specs(self, make_backend, tmp_path):
+        from repro.cachenet.backend import (
+            RemoteBackend,
+            TieredBackend,
+            resolve_backend,
+        )
+
+        make_backend("remote")  # boot the shared server
+        server = make_backend.cachenet_server
+        host, port = server._server.server_address
+        tiered = resolve_backend(f"remote://{host}:{port}")
+        assert isinstance(tiered, TieredBackend)
+        assert isinstance(tiered.remote, RemoteBackend)
+        assert isinstance(resolve_backend("memory://"), InMemoryBackend)
+        assert isinstance(
+            resolve_backend(str(tmp_path / "plain")), SharedDirectoryBackend
+        )
+        with pytest.raises(ValueError):
+            resolve_backend("redis://nope:1")
+        tiered.close()
+
+
 class TestCacheStatsDistinctMerge:
     def test_shared_cache_merge_takes_max_gauges(self):
         total = CacheStats(disk_entries=10, disk_bytes=1000, memo_entries=5)
@@ -254,3 +396,47 @@ class TestCacheStatsDistinctMerge:
         )
         assert total.cache.disk_entries == 7
         assert total.cache.hits == 1
+
+    def test_shared_gauges_max_merge_even_when_distinct(self):
+        """Workers mounting one shared tier must not multiply its footprint.
+
+        Every cluster worker snapshots the *same* remote (or shared
+        directory) storage; a distinct-cache fleet merge must max those
+        gauges, not sum them once per worker — while per-process memo
+        entries still sum.
+        """
+        fleet = CacheStats()
+        for _ in range(3):  # three workers reporting one shared tier
+            fleet.merge(
+                CacheStats(
+                    hits=5,
+                    disk_entries=10,
+                    disk_bytes=1000,
+                    memo_entries=4,
+                    shared_gauges=True,
+                ),
+                distinct_caches=True,
+            )
+        assert fleet.hits == 15  # counters always sum
+        assert fleet.disk_entries == 10  # one shared tier, reported thrice
+        assert fleet.disk_bytes == 1000
+        assert fleet.memo_entries == 12  # memos are genuinely per-process
+        assert fleet.shared_gauges is True
+        assert fleet.as_dict()["shared_gauges"] is True
+
+    def test_shared_gauges_infects_the_merge_target(self):
+        """Once any snapshot is shared, later distinct merges stay max-mode."""
+        fleet = CacheStats(disk_entries=10, disk_bytes=1000, shared_gauges=True)
+        fleet.merge(
+            CacheStats(disk_entries=8, disk_bytes=900), distinct_caches=True
+        )
+        assert fleet.disk_entries == 10
+        assert fleet.disk_bytes == 1000
+
+    def test_snapshot_marks_shared_backends(self, make_backend):
+        assert ResultCache(backend=make_backend("shared")).snapshot().shared_gauges
+        assert ResultCache(backend=make_backend("remote")).snapshot().shared_gauges
+        assert ResultCache(backend=make_backend("tiered")).snapshot().shared_gauges
+        assert not ResultCache(
+            backend=make_backend("memory")
+        ).snapshot().shared_gauges
